@@ -1,0 +1,56 @@
+// C-state timelines example: renders the package C-state timelines of the
+// paper's Figs 3, 6, and 7 side by side — the clearest picture of *why*
+// BurstLink saves energy: active states compress to the left and the rest
+// of every frame window turns into C9.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"burstlink/internal/core"
+	"burstlink/internal/pipeline"
+	"burstlink/internal/trace"
+	"burstlink/internal/units"
+)
+
+func main() {
+	p := pipeline.DefaultPlatform()
+
+	type row struct {
+		name string
+		fn   func(pipeline.Platform, pipeline.Scenario) (trace.Timeline, error)
+	}
+	rows := []row{
+		{"conventional (Fig 3)", pipeline.Conventional},
+		{"bypass only  (Fig 6)", core.BypassOnly},
+		{"burst only        ", core.BurstOnly},
+		{"full BurstLink (Fig 7)", core.BurstLink},
+	}
+
+	for _, fps := range []units.FPS{30, 60} {
+		s := pipeline.Planar(units.FHD, 60, fps)
+		fmt.Printf("FHD %d FPS on a 60 Hz panel — one video frame period\n", fps)
+		fmt.Println("  legend: 0=C0  2=C2  7=C7  '=C7'  8=C8  9=C9")
+		for _, r := range rows {
+			tl, err := r.fn(p, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-24s |%s|\n", r.name, tl.ASCII(64))
+			fmt.Printf("  %-24s  %s\n", "", tl.String())
+		}
+		fmt.Println()
+	}
+
+	// The idealized PSR-deep baseline of Fig 3(a), where the second
+	// window of a 30 FPS video drops to C9.
+	deep := p
+	deep.PSRDeep = true
+	tl, err := pipeline.Conventional(deep, pipeline.Planar(units.FHD, 60, 30))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("idealized baseline (Fig 3a, PSR window enters C9):")
+	fmt.Printf("  %-24s |%s|\n", "conventional+PSR(C9)", tl.ASCII(64))
+}

@@ -1,0 +1,50 @@
+// Quickstart: compare the conventional display pipeline against BurstLink
+// for 4K 60FPS streaming — the paper's headline experiment (41% system
+// energy reduction, §1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"burstlink/internal/core"
+	"burstlink/internal/pipeline"
+	"burstlink/internal/power"
+	"burstlink/internal/units"
+)
+
+func main() {
+	// The calibrated Skylake-class tablet platform (Table 3) and the
+	// analytical power model anchored to the paper's Table 2.
+	platform := pipeline.DefaultPlatform()
+	model := power.Default()
+
+	// 4K 60 FPS full-screen streaming on a 60 Hz panel.
+	scenario := pipeline.Planar(units.R4K, 60, 60)
+	load := power.LoadOf(platform, scenario)
+
+	// One video frame period under each scheme.
+	baselineTL, err := pipeline.Conventional(platform, scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	burstlinkTL, err := core.BurstLink(platform, scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := model.Evaluate(baselineTL, load)
+	bl := model.Evaluate(burstlinkTL, load)
+
+	fmt.Println("4K 60FPS video streaming on a 60 Hz panel")
+	fmt.Printf("  conventional: %v avg  (%s)\n", base.Average, baselineTL.String())
+	fmt.Printf("  burstlink:    %v avg  (%s)\n", bl.Average, burstlinkTL.String())
+	fmt.Printf("  energy reduction: %.1f%%  (paper: ~41%%)\n",
+		100*(1-float64(bl.Average)/float64(base.Average)))
+
+	// Where did the energy go? The Fig 10 style breakdown.
+	bb := model.BreakdownOf(baselineTL, load)
+	fb := model.BreakdownOf(burstlinkTL, load)
+	fmt.Printf("  DRAM energy: %v -> %v (%.1fx lower)\n",
+		bb.DRAM, fb.DRAM, float64(bb.DRAM)/float64(fb.DRAM))
+}

@@ -1,0 +1,66 @@
+// Windowed video example: §4.1's two-stage flow for a video clip playing
+// inside a browser window. Stage 1 composes the initial full frame
+// conventionally; stage 2 sends only PSR2 selective updates for the video
+// region while the static GUI lives in the DRFB. The functional run uses
+// the real panel model and verifies that GUI pixels never change.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"burstlink/internal/core"
+	"burstlink/internal/edp"
+	"burstlink/internal/pipeline"
+	"burstlink/internal/power"
+	"burstlink/internal/units"
+)
+
+func main() {
+	cfg := core.WindowedConfig{
+		Scenario: pipeline.Planar(units.FHD, 60, 30),
+		// A 720p video window centered in the FHD desktop.
+		Region: edp.Rect{X: 320, Y: 180, W: 1280, H: 720},
+	}
+
+	// Functional validation on the real panel protocol.
+	res, err := core.RunWindowedFunctional(core.WindowedConfig{
+		Scenario: pipeline.Scenario{Res: units.Resolution{Width: 480, Height: 270}, Refresh: 60, FPS: 30, BPP: 24},
+		Region:   edp.Rect{X: 120, Y: 68, W: 240, H: 134},
+	}, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("functional windowed run (real panel, 60 frames):")
+	fmt.Printf("  selective-update traffic: %v (full frames would be %v, %.1fx more)\n",
+		res.SUBytes, res.FullFrames, float64(res.FullFrames)/float64(res.SUBytes))
+	fmt.Printf("  tears: %d\n", res.Tears)
+
+	// Analytic: energy of windowed BurstLink vs full-screen schemes.
+	p := pipeline.DefaultPlatform()
+	m := power.Default()
+	load := power.LoadOf(p, cfg.Scenario)
+
+	base, err := pipeline.Conventional(p, cfg.Scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := core.BurstLink(p, cfg.Scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	win, err := core.Windowed(p, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	b := m.Evaluate(base, load).Average
+	f := m.Evaluate(full, load).Average
+	w := m.Evaluate(win, load).Average
+	fmt.Println("\nFHD 30FPS, 1280x720 video window (steady state):")
+	fmt.Printf("  conventional full-frame: %v\n", b)
+	fmt.Printf("  burstlink full-screen:   %v (%.1f%% saved)\n", f, 100*(1-float64(f)/float64(b)))
+	fmt.Printf("  burstlink windowed/PSR2: %v (%.1f%% saved)\n", w, 100*(1-float64(w)/float64(b)))
+	fmt.Printf("  video region is %.0f%% of the panel; update work scales with it\n",
+		100*cfg.RegionFraction())
+}

@@ -1,0 +1,3 @@
+module burstlink
+
+go 1.22

@@ -1,0 +1,67 @@
+package baseline
+
+import (
+	"time"
+
+	"burstlink/internal/pipeline"
+	"burstlink/internal/soc"
+	"burstlink/internal/trace"
+)
+
+// VIP computes one frame period under VIP (ISCA'15) IP chaining (§6.4):
+// the VD's output chains directly to the DC (no DRAM frame-buffer round
+// trip, like Frame Buffer Bypass) and multi-frame initiation halves the
+// CPU orchestration overhead — but, as the paper's critique goes, VIP
+// "does not solve the key bottleneck in the display data flow": the link
+// stays pixel-paced, so the VD, DC, and eDP remain active across the
+// entire frame window and the package never reaches C9.
+func VIP(p pipeline.Platform, s pipeline.Scenario) (trace.Timeline, error) {
+	if err := s.Validate(); err != nil {
+		return trace.Timeline{}, err
+	}
+	window := s.Refresh.Window()
+
+	decRes := s.Res
+	if s.VR {
+		decRes = s.VRSource
+	}
+	// Orchestration halves via IP chaining and multi-frame initiation,
+	// but stays on the CPU (no PMU offload).
+	tC0 := p.OrchTime / 2
+	read := p.EncodedFrameSize(decRes)
+
+	tVD := p.DecodeTimeLP(decRes, s.FPS)
+	tGPU := time.Duration(0)
+	if s.VR {
+		tGPU = p.ProjectTime(s.Res, s.FPS, s.MotionFactor)
+	}
+	send := window - tC0
+	if tVD+tGPU > send {
+		return trace.Timeline{}, pipeline.ErrUnderrun{Scenario: s, Need: tC0 + tVD + tGPU, Have: window}
+	}
+
+	var tl trace.Timeline
+	tl.Add(trace.Phase{State: soc.C0, Duration: tC0, DRAMRead: read, Label: "orch (chained)"})
+	if s.VR {
+		tl.Add(trace.Phase{State: soc.C7, Duration: tGPU, GPUActive: true, Label: "projection (chained)"})
+	}
+	// The chain runs pixel-paced across the whole window: VD active for
+	// its decode share (C7), the rest with the VD waiting but the chain
+	// (DC + eDP) live (C7').
+	frame := s.FrameSize()
+	nChunks := int((frame + p.DCBufSize - 1) / p.DCBufSize)
+	if nChunks < 1 {
+		nChunks = 1
+	}
+	c7 := tVD / time.Duration(nChunks)
+	c7p := (send - tVD - tGPU) / time.Duration(nChunks)
+	for i := 0; i < nChunks; i++ {
+		tl.Add(trace.Phase{State: soc.C7, Duration: c7, Label: "chain decode"})
+		tl.Add(trace.Phase{State: soc.C7Prime, Duration: c7p, Label: "chain drain"})
+	}
+	// PSR windows cap at C8: the chain's endpoints stay powered.
+	for w := 1; w < s.WindowsPerFrame(); w++ {
+		tl.AddState(soc.C8, window, "psr")
+	}
+	return tl, nil
+}

@@ -1,0 +1,59 @@
+package capture
+
+import (
+	"testing"
+
+	"burstlink/internal/units"
+)
+
+func TestConventionalTrafficAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := RunConventional(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := cfg.Res.FrameSize(cfg.BPP)
+	enc := units.ByteSize(float64(cfg.Res.Pixels()) * cfg.EncodedBitsPerPixel / 8)
+	// Per frame: 2 raw writes (sensor, ISP) + 1 encoded write; 2 raw
+	// reads (ISP, encoder).
+	wantW := units.ByteSize(cfg.Frames) * (2*raw + enc)
+	wantR := units.ByteSize(cfg.Frames) * 2 * raw
+	if res.DRAMWrite != wantW || res.DRAMRead != wantR {
+		t.Fatalf("traffic = %v/%v, want %v/%v", res.DRAMRead, res.DRAMWrite, wantR, wantW)
+	}
+}
+
+func TestRemoteBufferSlashesDRAMTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	conv, err := RunConventional(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := RunRemoteBuffer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.5's claim: the remote buffer removes all raw-frame DRAM
+	// round-trips. At 0.45 bits/pixel encoded vs 24-bit raw, that is a
+	// >50x traffic cut.
+	if remote.TotalDRAM()*50 > conv.TotalDRAM() {
+		t.Fatalf("remote DRAM %v not ≪ conventional %v", remote.TotalDRAM(), conv.TotalDRAM())
+	}
+	if remote.DRAMRead != 0 {
+		t.Fatalf("remote path should read nothing from DRAM, got %v", remote.DRAMRead)
+	}
+	// The raw frames moved peer-to-peer instead: two hops per frame.
+	raw := cfg.Res.FrameSize(cfg.BPP)
+	if want := units.ByteSize(cfg.Frames) * 2 * raw; remote.P2PBytes != want {
+		t.Fatalf("P2P bytes = %v, want %v", remote.P2PBytes, want)
+	}
+}
+
+func TestCaptureValidation(t *testing.T) {
+	if _, err := RunConventional(Config{}); err == nil {
+		t.Fatal("empty config should fail")
+	}
+	if _, err := RunRemoteBuffer(Config{Res: units.FHD}); err == nil {
+		t.Fatal("incomplete config should fail")
+	}
+}

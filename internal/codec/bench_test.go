@@ -1,0 +1,77 @@
+package codec
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Codec throughput benchmarks: the software codec's pixel rates put the
+// hardware-decoder model (internal/vd) in perspective and track the cost
+// of the functional simulations.
+
+func benchFrames(w, h, n int) []*Frame {
+	out := make([]*Frame, n)
+	for i := range out {
+		f := gradientFrame(w, h, i)
+		f.Seq = i
+		out[i] = f
+	}
+	return out
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, dim := range []struct{ w, h int }{{320, 180}, {640, 360}} {
+		b.Run(fmt.Sprintf("%dx%d", dim.w, dim.h), func(b *testing.B) {
+			frames := benchFrames(dim.w, dim.h, 4)
+			b.SetBytes(int64(3 * dim.w * dim.h))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc, _ := NewEncoder(dim.w, dim.h, DefaultEncoderConfig())
+				if _, _, err := enc.Encode(frames[i%len(frames)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	for _, dim := range []struct{ w, h int }{{320, 180}, {640, 360}} {
+		b.Run(fmt.Sprintf("%dx%d", dim.w, dim.h), func(b *testing.B) {
+			enc, _ := NewEncoder(dim.w, dim.h, DefaultEncoderConfig())
+			pkt, _, err := enc.Encode(gradientFrame(dim.w, dim.h, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(3 * dim.w * dim.h))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dec := NewDecoder()
+				if _, err := dec.Decode(pkt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMotionSearch(b *testing.B) {
+	cur := noiseTexture(128, 128, 3, -2)
+	ref := noiseTexture(128, 128, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		searchMotion(cur, ref, 48, 48, 8)
+	}
+}
+
+func BenchmarkDCT8(b *testing.B) {
+	var in, out [blockSize * blockSize]int32
+	for i := range in {
+		in[i] = int32(i*7%255 - 128)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fdct8(&in, &out)
+		idct8(&out, &in)
+	}
+}

@@ -1,0 +1,120 @@
+package codec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitRoundTrip(t *testing.T) {
+	var w BitWriter
+	w.WriteBits(0b1011, 4)
+	w.WriteBit(1)
+	w.WriteBits(0xFACE, 16)
+	r := NewBitReader(w.Bytes())
+	if v, _ := r.ReadBits(4); v != 0b1011 {
+		t.Fatalf("got %b", v)
+	}
+	if v, _ := r.ReadBit(); v != 1 {
+		t.Fatalf("got %d", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0xFACE {
+		t.Fatalf("got %x", v)
+	}
+}
+
+func TestBitWriterLen(t *testing.T) {
+	var w BitWriter
+	w.WriteBits(0, 13)
+	if w.Len() != 13 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	if len(w.Bytes()) != 2 {
+		t.Fatalf("bytes = %d", len(w.Bytes()))
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewBitReader([]byte{0xFF})
+	r.ReadBits(8)
+	if _, err := r.ReadBit(); err == nil {
+		t.Fatal("expected error past end")
+	}
+}
+
+func TestUEGolombKnownValues(t *testing.T) {
+	// Standard Exp-Golomb: 0→"1", 1→"010", 2→"011", 3→"00100".
+	for _, c := range []struct {
+		v    uint64
+		bits int
+	}{{0, 1}, {1, 3}, {2, 3}, {3, 5}, {6, 5}, {7, 7}} {
+		var w BitWriter
+		w.WriteUE(c.v)
+		if w.Len() != c.bits {
+			t.Errorf("ue(%d) = %d bits, want %d", c.v, w.Len(), c.bits)
+		}
+		r := NewBitReader(w.Bytes())
+		got, err := r.ReadUE()
+		if err != nil || got != c.v {
+			t.Errorf("ue(%d) round trip = %d, %v", c.v, got, err)
+		}
+	}
+}
+
+func TestUERoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		var w BitWriter
+		w.WriteUE(uint64(v))
+		r := NewBitReader(w.Bytes())
+		got, err := r.ReadUE()
+		return err == nil && got == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSERoundTripProperty(t *testing.T) {
+	f := func(v int32) bool {
+		var w BitWriter
+		w.WriteSE(int64(v))
+		r := NewBitReader(w.Bytes())
+		got, err := r.ReadSE()
+		return err == nil && got == int64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedSequenceRoundTrip(t *testing.T) {
+	f := func(vals []int16) bool {
+		var w BitWriter
+		for _, v := range vals {
+			w.WriteSE(int64(v))
+			w.WriteUE(uint64(uint16(v)))
+		}
+		r := NewBitReader(w.Bytes())
+		for _, v := range vals {
+			s, err := r.ReadSE()
+			if err != nil || s != int64(v) {
+				return false
+			}
+			u, err := r.ReadUE()
+			if err != nil || u != uint64(uint16(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUETruncatedStream(t *testing.T) {
+	// A long run of zeros with no terminator must error, not loop.
+	r := NewBitReader([]byte{0, 0, 0})
+	if _, err := r.ReadUE(); err == nil {
+		t.Fatal("expected error on truncated ue")
+	}
+}

@@ -1,0 +1,272 @@
+package codec
+
+import (
+	"fmt"
+)
+
+// RowSink receives reconstructed macroblock rows as the decoder finishes
+// them: rowIdx is the macroblock-row index (each MBSize pixel rows) and
+// data is the interleaved 3-byte-per-pixel content of those rows. This is
+// the streaming hook the destination selector (§4.4) uses: in conventional
+// mode the rows are DMAed to the DRAM frame buffer; under Frame Buffer
+// Bypass they go peer-to-peer to the display controller buffer.
+type RowSink func(rowIdx int, data []byte)
+
+// Decoder reconstructs frames from packets produced by Encoder.
+type Decoder struct {
+	w, h  int
+	table [blockSize * blockSize]int32
+	haveT bool
+	refs  []*Frame
+
+	sink RowSink
+
+	frames int
+}
+
+// NewDecoder builds a decoder; dimensions and quality are learned from the
+// first packet.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// SetRowSink installs the macroblock-row streaming callback.
+func (d *Decoder) SetRowSink(s RowSink) { d.sink = s }
+
+// Frames returns the number of frames decoded.
+func (d *Decoder) Frames() int { return d.frames }
+
+// Decode reconstructs one packet into a frame. The decoder keeps the last
+// two reconstructions as references for P- and B-frames.
+func (d *Decoder) Decode(p Packet) (*Frame, error) {
+	r := NewBitReader(p.Data)
+	tRaw, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	t := FrameType(tRaw)
+	if t < IFrame || t > BFrame {
+		return nil, fmt.Errorf("codec: bad frame type %d", tRaw)
+	}
+	seq, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	wv, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	hv, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	quality, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	deblock, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	if deblock > 1 {
+		return nil, fmt.Errorf("codec: bad deblock flag %d", deblock)
+	}
+	if wv == 0 || hv == 0 || wv > 1<<14 || hv > 1<<14 || wv*hv > 64<<20 {
+		return nil, fmt.Errorf("codec: bad dimensions %dx%d", wv, hv)
+	}
+	if d.w == 0 {
+		d.w, d.h = int(wv), int(hv)
+	} else if d.w != int(wv) || d.h != int(hv) {
+		return nil, fmt.Errorf("codec: dimension change %dx%d -> %dx%d", d.w, d.h, wv, hv)
+	}
+	// Quality is per-packet: rate-controlled encoders vary it frame to
+	// frame.
+	d.table = quantTable(int(quality))
+	d.haveT = true
+
+	switch t {
+	case PFrame:
+		if len(d.refs) == 0 {
+			return nil, fmt.Errorf("codec: P-frame with no reference")
+		}
+	case BFrame:
+		if len(d.refs) < 2 {
+			return nil, fmt.Errorf("codec: B-frame needs two references")
+		}
+	}
+
+	recon := NewFrame(d.w, d.h)
+	recon.Seq = int(seq)
+	var fwd, bwd *Frame
+	if len(d.refs) >= 1 {
+		bwd = d.refs[len(d.refs)-1]
+	}
+	if len(d.refs) >= 2 {
+		fwd = d.refs[len(d.refs)-2]
+	} else {
+		fwd = bwd
+	}
+
+	mbw, mbh := mbCount(d.w, d.h)
+	for my := 0; my < mbh; my++ {
+		for mx := 0; mx < mbw; mx++ {
+			if err := d.decodeMB(r, recon, fwd, bwd, mx*MBSize, my*MBSize); err != nil {
+				return nil, fmt.Errorf("codec: MB (%d,%d): %w", mx, my, err)
+			}
+		}
+		// Without the in-loop filter, rows stream out as soon as they
+		// reconstruct; with it, output trails the filter (below), as in
+		// hardware decoders where the deblock stage adds a row of
+		// latency.
+		if d.sink != nil && deblock == 0 {
+			d.emitRow(recon, my)
+		}
+	}
+
+	if deblock == 1 {
+		deblockFrame(recon, int(quality))
+		if d.sink != nil {
+			for my := 0; my < mbh; my++ {
+				d.emitRow(recon, my)
+			}
+		}
+	}
+	// B-frames are never references (mirrors the encoder).
+	if t != BFrame {
+		d.refs = append(d.refs, recon)
+		if len(d.refs) > 2 {
+			d.refs = d.refs[len(d.refs)-2:]
+		}
+	}
+	d.frames++
+	return recon, nil
+}
+
+// emitRow streams one reconstructed macroblock row to the sink.
+func (d *Decoder) emitRow(f *Frame, mbRow int) {
+	y0 := mbRow * MBSize
+	y1 := y0 + MBSize
+	if y1 > f.H {
+		y1 = f.H
+	}
+	out := make([]byte, (y1-y0)*f.W*3)
+	i := 0
+	for y := y0; y < y1; y++ {
+		for x := 0; x < f.W; x++ {
+			out[i] = f.Planes[0][y*f.W+x]
+			out[i+1] = f.Planes[1][y*f.W+x]
+			out[i+2] = f.Planes[2][y*f.W+x]
+			i += 3
+		}
+	}
+	d.sink(mbRow, out)
+}
+
+func (d *Decoder) decodeMB(r *BitReader, recon, fwd, bwd *Frame, px, py int) error {
+	modeRaw, err := r.ReadUE()
+	if err != nil {
+		return err
+	}
+	// Inter modes need a reference; a corrupt stream may smuggle them
+	// into an I-frame.
+	if modeRaw != uint64(mbIntra) && bwd == nil {
+		return fmt.Errorf("inter MB mode %d without reference frame", modeRaw)
+	}
+	switch modeRaw {
+	case uint64(mbSkip):
+		copyMB(recon, bwd, px, py, MotionVector{})
+		return nil
+	case uint64(mbInter):
+		dx, err := r.ReadSE()
+		if err != nil {
+			return err
+		}
+		dy, err := r.ReadSE()
+		if err != nil {
+			return err
+		}
+		mv := MotionVector{DX: int(dx), DY: int(dy)}
+		return d.applyResidual(r, recon, px, py, func(p, x, y int) int32 {
+			return int32(bwd.At(p, x+mv.DX, y+mv.DY))
+		})
+	case 3: // bidirectional
+		var mvs [4]int64
+		for i := range mvs {
+			if mvs[i], err = r.ReadSE(); err != nil {
+				return err
+			}
+		}
+		mvF := MotionVector{DX: int(mvs[0]), DY: int(mvs[1])}
+		mvB := MotionVector{DX: int(mvs[2]), DY: int(mvs[3])}
+		return d.applyResidual(r, recon, px, py, func(p, x, y int) int32 {
+			f := int32(fwd.At(p, x+mvF.DX, y+mvF.DY))
+			b := int32(bwd.At(p, x+mvB.DX, y+mvB.DY))
+			return (f + b + 1) / 2
+		})
+	case uint64(mbIntra):
+		imode, err := r.ReadUE()
+		if err != nil {
+			return err
+		}
+		if imode >= numIntraModes {
+			return fmt.Errorf("bad intra mode %d", imode)
+		}
+		return d.applyResidual(r, recon, px, py, intraPred(recon, px, py, int(imode)))
+	default:
+		return fmt.Errorf("bad MB mode %d", modeRaw)
+	}
+}
+
+// applyResidual parses and reconstructs the macroblock's residual blocks.
+func (d *Decoder) applyResidual(r *BitReader, recon *Frame, px, py int, pred func(p, x, y int) int32) error {
+	var coef, res [blockSize * blockSize]int32
+	for p := 0; p < 3; p++ {
+		for by := 0; by < MBSize; by += blockSize {
+			for bx := 0; bx < MBSize; bx += blockSize {
+				if err := readCoeffs(r, &coef); err != nil {
+					return err
+				}
+				dequantize(&coef, &d.table)
+				idct8(&coef, &res)
+				for y := 0; y < blockSize; y++ {
+					for x := 0; x < blockSize; x++ {
+						fx, fy := px+bx+x, py+by+y
+						v := res[y*blockSize+x] + pred(p, fx, fy) - 128
+						recon.Set(p, fx, fy, clampByte(v))
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// readCoeffs parses one entropy-coded 8×8 block into coef.
+func readCoeffs(r *BitReader, coef *[blockSize * blockSize]int32) error {
+	for i := range coef {
+		coef[i] = 0
+	}
+	nnz, err := r.ReadUE()
+	if err != nil {
+		return err
+	}
+	if nnz > blockSize*blockSize {
+		return ErrBitstream
+	}
+	pos := 0
+	for i := uint64(0); i < nnz; i++ {
+		run, err := r.ReadUE()
+		if err != nil {
+			return err
+		}
+		level, err := r.ReadSE()
+		if err != nil {
+			return err
+		}
+		pos += int(run)
+		if pos >= blockSize*blockSize || level == 0 {
+			return ErrBitstream
+		}
+		coef[zigzag[pos]] = int32(level)
+		pos++
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package codec_test
+
+import (
+	"fmt"
+	"log"
+
+	"burstlink/internal/codec"
+)
+
+// Encode three frames and decode them back, checking lossy quality.
+func Example() {
+	const w, h = 64, 48
+	enc, err := codec.NewEncoder(w, h, codec.DefaultEncoderConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec := codec.NewDecoder()
+	for i := 0; i < 3; i++ {
+		src := codec.NewFrame(w, h)
+		src.Seq = i
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				src.Planes[0][y*w+x] = byte(x*4 + i*8)
+			}
+		}
+		pkt, stats, err := enc.Encode(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := dec.Decode(pkt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		psnr, _ := codec.PSNR(src, out)
+		fmt.Printf("frame %d: type %v, psnr > 30dB: %v\n", out.Seq, stats.Type, psnr > 30)
+	}
+	// Output:
+	// frame 0: type I, psnr > 30dB: true
+	// frame 1: type P, psnr > 30dB: true
+	// frame 2: type P, psnr > 30dB: true
+}
+
+// GOP encoding reorders B-frames into decode order and the GOP decoder
+// restores display order.
+func ExampleGOPEncoder() {
+	enc, err := codec.NewGOPEncoder(32, 32, codec.DefaultEncoderConfig(), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var decodeOrder []int
+	for i := 0; i < 4; i++ {
+		f := codec.NewFrame(32, 32)
+		f.Seq = i
+		pkts, err := enc.Push(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range pkts {
+			decodeOrder = append(decodeOrder, p.Seq)
+		}
+	}
+	fmt.Println("decode order:", decodeOrder)
+	// Output:
+	// decode order: [0 3 1 2]
+}

@@ -1,0 +1,126 @@
+package codec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The GOP layer handles B-frame reordering: with a B-period of 2 the
+// display order I B B P B B P … becomes the decode order I P B B P B B …
+// (each anchor is encoded before the B-frames that reference it from both
+// sides). B-frames are non-reference frames, matching §2.4's description
+// of B-type macroblocks reconstructed "from the macroblocks in the
+// previous and previous/later encoded frames".
+
+// GOPEncoder wraps an Encoder with display→decode order conversion.
+type GOPEncoder struct {
+	enc *Encoder
+	// bPeriod is how many B-frames sit between consecutive anchors
+	// (0 disables B-frames).
+	bPeriod int
+	pending []*Frame // buffered B-candidates awaiting the next anchor
+	started bool
+}
+
+// NewGOPEncoder builds a GOP encoder with the given B-period.
+func NewGOPEncoder(w, h int, cfg EncoderConfig, bPeriod int) (*GOPEncoder, error) {
+	if bPeriod < 0 {
+		return nil, fmt.Errorf("codec: negative B period")
+	}
+	enc, err := NewEncoder(w, h, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &GOPEncoder{enc: enc, bPeriod: bPeriod}, nil
+}
+
+// Push accepts the next frame in display order and returns zero or more
+// packets in decode order. Packets for B-frames appear only after their
+// future anchor has been pushed.
+func (g *GOPEncoder) Push(f *Frame) ([]Packet, error) {
+	if g.bPeriod == 0 {
+		pkt, _, err := g.enc.Encode(f)
+		if err != nil {
+			return nil, err
+		}
+		return []Packet{pkt}, nil
+	}
+	if !g.started {
+		g.started = true
+		pkt, _, err := g.enc.EncodeAs(f, IFrame)
+		if err != nil {
+			return nil, err
+		}
+		return []Packet{pkt}, nil
+	}
+	if len(g.pending) < g.bPeriod {
+		g.pending = append(g.pending, f)
+		return nil, nil
+	}
+	// f is the next anchor: encode it first (P), then the buffered Bs.
+	out := make([]Packet, 0, 1+len(g.pending))
+	pkt, _, err := g.enc.EncodeAs(f, PFrame)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, pkt)
+	for _, b := range g.pending {
+		pkt, _, err := g.enc.EncodeAs(b, BFrame)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkt)
+	}
+	g.pending = g.pending[:0]
+	return out, nil
+}
+
+// Flush encodes any trailing buffered frames (as P-frames, since no
+// future anchor exists) and returns their packets in decode order.
+func (g *GOPEncoder) Flush() ([]Packet, error) {
+	out := make([]Packet, 0, len(g.pending))
+	for _, f := range g.pending {
+		pkt, _, err := g.enc.EncodeAs(f, PFrame)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkt)
+	}
+	g.pending = g.pending[:0]
+	return out, nil
+}
+
+// GOPDecoder wraps a Decoder with decode→display order conversion.
+type GOPDecoder struct {
+	dec     *Decoder
+	reorder []*Frame // decoded frames not yet emitted
+	next    int      // next display sequence number to emit
+}
+
+// NewGOPDecoder builds a display-order decoder.
+func NewGOPDecoder() *GOPDecoder { return &GOPDecoder{dec: NewDecoder()} }
+
+// Push decodes one packet (decode order) and returns any frames that are
+// now emittable in display order.
+func (g *GOPDecoder) Push(pkt Packet) ([]*Frame, error) {
+	f, err := g.dec.Decode(pkt)
+	if err != nil {
+		return nil, err
+	}
+	g.reorder = append(g.reorder, f)
+	sort.Slice(g.reorder, func(i, j int) bool { return g.reorder[i].Seq < g.reorder[j].Seq })
+	var out []*Frame
+	for len(g.reorder) > 0 && g.reorder[0].Seq == g.next {
+		out = append(out, g.reorder[0])
+		g.reorder = g.reorder[1:]
+		g.next++
+	}
+	return out, nil
+}
+
+// Pending returns how many decoded frames await display-order emission.
+func (g *GOPDecoder) Pending() int { return len(g.reorder) }
+
+// NewGOPDecoderWith allows injecting a configured Decoder (e.g. with a
+// row sink installed).
+func NewGOPDecoderWith(dec *Decoder) *GOPDecoder { return &GOPDecoder{dec: dec} }

@@ -1,0 +1,70 @@
+package codec
+
+// Motion estimation: a full search over a small window on the first plane
+// (luma-equivalent), as hardware encoders do in their coarse stage. The
+// resulting full-pel motion vector applies to all three planes.
+
+// sadMB returns the sum of absolute differences between the 16×16
+// macroblock of cur at (mx, my) and ref displaced by mv, with edge
+// clamping. earlyOut stops the scan once the running sum exceeds it.
+func sadMB(cur, ref *Frame, mx, my int, mv MotionVector, earlyOut int) int {
+	sum := 0
+	for y := 0; y < MBSize; y++ {
+		for x := 0; x < MBSize; x++ {
+			a := int(cur.At(0, mx+x, my+y))
+			b := int(ref.At(0, mx+x+mv.DX, my+y+mv.DY))
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if sum > earlyOut {
+			return sum
+		}
+	}
+	return sum
+}
+
+// searchMotion finds the motion vector within ±window minimizing SAD for
+// the macroblock at (mx, my). It returns the best vector and its SAD.
+func searchMotion(cur, ref *Frame, mx, my, window int) (MotionVector, int) {
+	best := MotionVector{}
+	bestSAD := sadMB(cur, ref, mx, my, best, 1<<30)
+	// Spiral-ish full search: zero vector first (checked above), then the
+	// rest of the window with early-out against the incumbent.
+	for dy := -window; dy <= window; dy++ {
+		for dx := -window; dx <= window; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			mv := MotionVector{DX: dx, DY: dy}
+			if s := sadMB(cur, ref, mx, my, mv, bestSAD); s < bestSAD {
+				best, bestSAD = mv, s
+			}
+		}
+	}
+	return best, bestSAD
+}
+
+// sadBi returns the SAD of the macroblock against the average of two
+// displaced references (B-type prediction).
+func sadBi(cur, fwd, bwd *Frame, mx, my int, mvF, mvB MotionVector, earlyOut int) int {
+	sum := 0
+	for y := 0; y < MBSize; y++ {
+		for x := 0; x < MBSize; x++ {
+			a := int(cur.At(0, mx+x, my+y))
+			f := int(fwd.At(0, mx+x+mvF.DX, my+y+mvF.DY))
+			b := int(bwd.At(0, mx+x+mvB.DX, my+y+mvB.DY))
+			d := a - (f+b+1)/2
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if sum > earlyOut {
+			return sum
+		}
+	}
+	return sum
+}

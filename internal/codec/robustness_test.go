@@ -1,0 +1,64 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanicsOnGarbage feeds the decoder random byte soup and
+// random mutations of valid packets: it must return errors (or, for
+// benign bit flips, a frame), never panic or hang.
+func TestDecodeNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(512)
+		data := make([]byte, n)
+		rng.Read(data)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on garbage: %v", trial, r)
+				}
+			}()
+			dec := NewDecoder()
+			dec.Decode(Packet{Data: data}) // error or not — must return
+		}()
+	}
+}
+
+func TestDecodeNeverPanicsOnMutatedPackets(t *testing.T) {
+	enc, _ := NewEncoder(64, 48, DefaultEncoderConfig())
+	pkt, _, _ := enc.Encode(gradientFrame(64, 48, 0))
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		mut := append([]byte(nil), pkt.Data...)
+		// Flip a few random bits.
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			i := rng.Intn(len(mut))
+			mut[i] ^= 1 << uint(rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on mutated packet: %v", trial, r)
+				}
+			}()
+			dec := NewDecoder()
+			dec.Decode(Packet{Data: mut})
+		}()
+	}
+}
+
+func TestDecodeRejectsHugeDimensions(t *testing.T) {
+	// A forged header must not trigger a multi-gigabyte allocation.
+	var w BitWriter
+	w.WriteUE(uint64(IFrame))
+	w.WriteUE(0)     // seq
+	w.WriteUE(16000) // width
+	w.WriteUE(16000) // height: 256 Mpix > cap
+	w.WriteUE(50)
+	dec := NewDecoder()
+	if _, err := dec.Decode(Packet{Data: w.Bytes()}); err == nil {
+		t.Fatal("huge dimensions should be rejected")
+	}
+}

@@ -1,0 +1,163 @@
+package codec
+
+import "math"
+
+// The transform stage: an 8×8 DCT-II implemented with precomputed
+// float64 basis and rounded to integers. The encoder and decoder share the
+// inverse path, so reconstruction is bit-exact between them even though
+// the transform itself is lossy only through quantization rounding.
+
+var dctBasis [blockSize][blockSize]float64
+
+func init() {
+	for k := 0; k < blockSize; k++ {
+		for n := 0; n < blockSize; n++ {
+			dctBasis[k][n] = math.Cos(math.Pi / float64(blockSize) * (float64(n) + 0.5) * float64(k))
+		}
+	}
+}
+
+func alpha(k int) float64 {
+	if k == 0 {
+		return math.Sqrt(1.0 / blockSize)
+	}
+	return math.Sqrt(2.0 / blockSize)
+}
+
+// fdct8 computes the 2-D DCT-II of an 8×8 block of centered samples
+// (pixel - 128) into integer coefficients.
+func fdct8(in *[blockSize * blockSize]int32, out *[blockSize * blockSize]int32) {
+	var tmp [blockSize * blockSize]float64
+	// Rows.
+	for y := 0; y < blockSize; y++ {
+		for k := 0; k < blockSize; k++ {
+			var s float64
+			for n := 0; n < blockSize; n++ {
+				s += float64(in[y*blockSize+n]) * dctBasis[k][n]
+			}
+			tmp[y*blockSize+k] = alpha(k) * s
+		}
+	}
+	// Columns.
+	for x := 0; x < blockSize; x++ {
+		for k := 0; k < blockSize; k++ {
+			var s float64
+			for n := 0; n < blockSize; n++ {
+				s += tmp[n*blockSize+x] * dctBasis[k][n]
+			}
+			out[k*blockSize+x] = int32(math.RoundToEven(alpha(k) * s))
+		}
+	}
+}
+
+// idct8 computes the 2-D inverse DCT of integer coefficients back into
+// centered samples.
+func idct8(in *[blockSize * blockSize]int32, out *[blockSize * blockSize]int32) {
+	var tmp [blockSize * blockSize]float64
+	// Columns.
+	for x := 0; x < blockSize; x++ {
+		for n := 0; n < blockSize; n++ {
+			var s float64
+			for k := 0; k < blockSize; k++ {
+				s += alpha(k) * float64(in[k*blockSize+x]) * dctBasis[k][n]
+			}
+			tmp[n*blockSize+x] = s
+		}
+	}
+	// Rows.
+	for y := 0; y < blockSize; y++ {
+		for n := 0; n < blockSize; n++ {
+			var s float64
+			for k := 0; k < blockSize; k++ {
+				s += alpha(k) * tmp[y*blockSize+k] * dctBasis[k][n]
+			}
+			out[y*blockSize+n] = int32(math.RoundToEven(s))
+		}
+	}
+}
+
+// zigzag is the classic JPEG 8×8 coefficient scan order: low frequencies
+// first so run-length coding sees long zero tails.
+var zigzag = [blockSize * blockSize]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// baseQuant is the JPEG luminance quantization matrix, scaled by the
+// encoder's quality setting.
+var baseQuant = [blockSize * blockSize]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// quantTable returns the quantization matrix for quality in [1,100]
+// following the libjpeg scaling convention (50 = base matrix).
+func quantTable(quality int) [blockSize * blockSize]int32 {
+	if quality < 1 {
+		quality = 1
+	} else if quality > 100 {
+		quality = 100
+	}
+	var scale int32
+	if quality < 50 {
+		scale = int32(5000 / quality)
+	} else {
+		scale = int32(200 - 2*quality)
+	}
+	var out [blockSize * blockSize]int32
+	for i, q := range baseQuant {
+		v := (q*scale + 50) / 100
+		if v < 1 {
+			v = 1
+		}
+		if v > 255 {
+			v = 255
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// quantize divides coefficients by the table with round-to-nearest.
+func quantize(coef *[blockSize * blockSize]int32, table *[blockSize * blockSize]int32) {
+	for i := range coef {
+		q := table[i]
+		c := coef[i]
+		if c >= 0 {
+			coef[i] = (c + q/2) / q
+		} else {
+			coef[i] = -((-c + q/2) / q)
+		}
+	}
+}
+
+// dequantize multiplies coefficients back by the table.
+func dequantize(coef *[blockSize * blockSize]int32, table *[blockSize * blockSize]int32) {
+	for i := range coef {
+		coef[i] *= table[i]
+	}
+}
+
+// clampByte converts a centered sample back to a pixel value.
+func clampByte(v int32) byte {
+	v += 128
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}

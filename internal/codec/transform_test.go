@@ -1,0 +1,124 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDCTRoundTripLossless(t *testing.T) {
+	// Without quantization, fdct→idct must reproduce samples within ±1
+	// (rounding of the float basis).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var in, coef, out [blockSize * blockSize]int32
+		for i := range in {
+			in[i] = int32(rng.Intn(511) - 255) // residual range
+		}
+		fdct8(&in, &coef)
+		idct8(&coef, &out)
+		for i := range in {
+			d := in[i] - out[i]
+			if d < -1 || d > 1 {
+				t.Fatalf("trial %d idx %d: %d -> %d", trial, i, in[i], out[i])
+			}
+		}
+	}
+}
+
+func TestDCTDCComponent(t *testing.T) {
+	// A flat block concentrates all energy in coefficient (0,0).
+	var in, coef [blockSize * blockSize]int32
+	for i := range in {
+		in[i] = 100
+	}
+	fdct8(&in, &coef)
+	if coef[0] != 800 { // 100 * 8 (orthonormal scaling: N*alpha0^2 = 1 → DC = 8*mean)
+		t.Fatalf("DC = %d, want 800", coef[0])
+	}
+	for i := 1; i < len(coef); i++ {
+		if coef[i] != 0 {
+			t.Fatalf("AC[%d] = %d, want 0", i, coef[i])
+		}
+	}
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := make(map[int]bool)
+	for _, v := range zigzag {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("zigzag not a permutation at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZigzagVisitsLowFrequenciesFirst(t *testing.T) {
+	// The first eight entries must all be within the top-left 4×4 block.
+	for i := 0; i < 8; i++ {
+		idx := zigzag[i]
+		if idx%8 >= 4 || idx/8 >= 4 {
+			t.Fatalf("zigzag[%d] = %d outside low-frequency corner", i, idx)
+		}
+	}
+}
+
+func TestQuantTableQualityScaling(t *testing.T) {
+	lo := quantTable(10)
+	mid := quantTable(50)
+	hi := quantTable(95)
+	for i := range mid {
+		if !(lo[i] >= mid[i] && mid[i] >= hi[i]) {
+			t.Fatalf("idx %d: quant not monotone in quality: %d %d %d", i, lo[i], mid[i], hi[i])
+		}
+		if hi[i] < 1 {
+			t.Fatalf("idx %d: quant below 1", i)
+		}
+	}
+	// Quality 50 is the base matrix exactly.
+	for i := range mid {
+		if mid[i] != baseQuant[i] {
+			t.Fatalf("idx %d: q50 = %d, want base %d", i, mid[i], baseQuant[i])
+		}
+	}
+}
+
+func TestQuantTableClamping(t *testing.T) {
+	if quantTable(-5) != quantTable(1) {
+		t.Fatal("quality below 1 should clamp")
+	}
+	if quantTable(200) != quantTable(100) {
+		t.Fatal("quality above 100 should clamp")
+	}
+}
+
+func TestQuantizeDequantizeBoundedError(t *testing.T) {
+	table := quantTable(50)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		var coef, orig [blockSize * blockSize]int32
+		for i := range coef {
+			coef[i] = int32(rng.Intn(2001) - 1000)
+			orig[i] = coef[i]
+		}
+		quantize(&coef, &table)
+		dequantize(&coef, &table)
+		for i := range coef {
+			d := coef[i] - orig[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > table[i]/2+1 {
+				t.Fatalf("idx %d: error %d exceeds half step %d", i, d, table[i])
+			}
+		}
+	}
+}
+
+func TestClampByte(t *testing.T) {
+	if clampByte(-300) != 0 || clampByte(300) != 255 {
+		t.Fatal("clamping wrong")
+	}
+	if clampByte(0) != 128 || clampByte(-128) != 0 || clampByte(127) != 255 {
+		t.Fatal("recentering wrong")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"burstlink/internal/edp"
+	"burstlink/internal/pipeline"
+	"burstlink/internal/power"
+	"burstlink/internal/soc"
+	"burstlink/internal/units"
+)
+
+func TestNegotiate(t *testing.T) {
+	f := Negotiate(edp.BurstLinkPanelCaps())
+	if !f.Bypass || !f.Burst || !f.Windowed {
+		t.Fatalf("BurstLink panel negotiated %v", f)
+	}
+	f = Negotiate(edp.ConventionalPanelCaps())
+	if !f.Bypass || f.Burst || f.Windowed {
+		t.Fatalf("conventional panel negotiated %v", f)
+	}
+	if f.String() == "" {
+		t.Fatal("features should render")
+	}
+}
+
+func TestCapabilityBurstRateNegotiation(t *testing.T) {
+	caps := edp.BurstLinkPanelCaps()
+	// A panel capped at eDP 1.3 rates limits a 1.4 host.
+	caps.MaxLinkRate = edp.EDP13().MaxBandwidth()
+	got := caps.NegotiatedBurstRate(edp.EDP14())
+	if got != edp.EDP13().MaxBandwidth() {
+		t.Fatalf("negotiated = %v, want panel-limited", got)
+	}
+	// A DRFB-less panel cannot sink bursts.
+	if edp.ConventionalPanelCaps().NegotiatedBurstRate(edp.EDP14()) != 0 {
+		t.Fatal("no DRFB → no burst rate")
+	}
+	// A faster panel does not raise the host beyond its own max.
+	caps.MaxLinkRate = 2 * edp.EDP14().MaxBandwidth()
+	if got := caps.NegotiatedBurstRate(edp.EDP14()); got != edp.EDP14().MaxBandwidth() {
+		t.Fatalf("negotiated = %v, want host-limited", got)
+	}
+}
+
+func TestScheduleDegradesGracefully(t *testing.T) {
+	p := pipeline.DefaultPlatform()
+	m := power.Default()
+	s := pipeline.Planar(units.FHD, 60, 30)
+	load := power.LoadOf(p, s)
+
+	full, f, err := Schedule(p, s, edp.BurstLinkPanelCaps())
+	if err != nil || !f.Burst {
+		t.Fatalf("full schedule: %v %v", f, err)
+	}
+	byp, f2, err := Schedule(p, s, edp.ConventionalPanelCaps())
+	if err != nil || f2.Burst {
+		t.Fatalf("degraded schedule: %v %v", f2, err)
+	}
+	conv, f3, err := Schedule(p, s, edp.Capabilities{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f3
+
+	// Energy ordering: full < bypass-only < conventional fallback...
+	// conventional here still runs bypass (host-side), so compare full vs
+	// degraded at least.
+	pf := m.Evaluate(full, load).Average
+	pb := m.Evaluate(byp, load).Average
+	pc := m.Evaluate(conv, load).Average
+	if !(pf < pb) {
+		t.Fatalf("full %v should beat degraded %v", pf, pb)
+	}
+	if full.TimeIn(soc.C9) == 0 || byp.TimeIn(soc.C9) != 0 {
+		t.Fatal("C9 should require the DRFB")
+	}
+	_ = pc
+}
+
+func TestSchedulePanelLimitedBurstRate(t *testing.T) {
+	// A DRFB panel stuck at eDP 1.3 rates still bursts, just slower: the
+	// link-bound 5K transfer takes longer, C9 shrinks, power rises, but
+	// it must still beat bypass-only.
+	p := pipeline.DefaultPlatform()
+	m := power.Default()
+	s := pipeline.Planar(units.QHD, 60, 30)
+	load := power.LoadOf(p, s)
+
+	slow := edp.BurstLinkPanelCaps()
+	slow.MaxLinkRate = edp.EDP13().MaxBandwidth()
+	tlSlow, f, err := Schedule(p, s, slow)
+	if err != nil || !f.Burst {
+		t.Fatalf("slow-panel schedule: %v %v", f, err)
+	}
+	tlFast, _, err := Schedule(p, s, edp.BurstLinkPanelCaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := m.Evaluate(tlSlow, load).Average
+	pfa := m.Evaluate(tlFast, load).Average
+	if pfa > ps {
+		t.Fatalf("faster negotiated link should not cost more: %v vs %v", pfa, ps)
+	}
+}

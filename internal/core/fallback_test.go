@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"burstlink/internal/display"
+	"burstlink/internal/edp"
+	"burstlink/internal/interconnect"
+	"burstlink/internal/units"
+)
+
+// syncSelector pushes the compositor's plane state into the DC CSRs the
+// way the display driver does (§4.4).
+func syncSelector(sel *DestinationSelector, comp *display.Compositor) {
+	sel.SetPlanes(comp.PlaneCount(), comp.VideoPlaneOnly())
+}
+
+// TestFallbackFollowsPlaneLifecycle drives the §4.1 fallback scenario end
+// to end: full-screen video starts in bypass; the application's GUI
+// appears (graphics interrupt) and the pipeline falls back to the
+// conventional DRAM path; the GUI disappears and bypass resumes.
+func TestFallbackFollowsPlaneLifecycle(t *testing.T) {
+	res := units.Resolution{Width: 64, Height: 32}
+	comp := display.NewCompositor(res)
+	sel := NewDestinationSelector(interconnect.NewCSRFile("vd"), interconnect.NewCSRFile("dc"))
+	sel.SetVideoApps(1)
+
+	// Full-screen video only.
+	if err := comp.SetPlane(display.Plane{
+		Name: "video", Z: 1, Rect: edp.Rect{W: 64, H: 32}, Fill: [3]byte{50, 50, 50},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	syncSelector(sel, comp)
+	if sel.Destination() != DestDC {
+		t.Fatal("full-screen video should take the bypass path")
+	}
+
+	// The GUI pops up: the DC raises the graphics interrupt and the
+	// driver reprograms the plane registers.
+	if err := comp.SetPlane(display.Plane{
+		Name: "gui", Z: 2, Rect: edp.Rect{X: 8, Y: 8, W: 16, H: 8}, Fill: [3]byte{200, 200, 200},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sel.OnGraphicsInterrupt()
+	syncSelector(sel, comp)
+	if sel.Destination() != DestDRAM {
+		t.Fatal("multi-plane composition must fall back to DRAM")
+	}
+
+	// In the fallback mode the DC really must compose: the GUI occludes
+	// part of the video.
+	f, err := comp.Compose(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	video := f.Data[(0*64+0)*3]
+	gui := f.Data[(9*64+9)*3]
+	if video != 50 || gui != 200 {
+		t.Fatalf("composition wrong: video=%d gui=%d", video, gui)
+	}
+
+	// GUI dismissed: bypass resumes.
+	comp.RemovePlane("gui")
+	syncSelector(sel, comp)
+	if sel.Destination() != DestDC {
+		t.Fatal("bypass should resume once only the video plane remains")
+	}
+}
+
+// TestFallbackOnSecondVideoApp covers the single_video condition.
+func TestFallbackOnSecondVideoApp(t *testing.T) {
+	res := units.Resolution{Width: 64, Height: 32}
+	comp := display.NewCompositor(res)
+	comp.SetPlane(display.Plane{Name: "video", Z: 1, Rect: edp.Rect{W: 64, H: 32}, Fill: [3]byte{1, 1, 1}})
+	sel := NewDestinationSelector(interconnect.NewCSRFile("vd"), interconnect.NewCSRFile("dc"))
+	sel.SetVideoApps(1)
+	syncSelector(sel, comp)
+	if sel.Destination() != DestDC {
+		t.Fatal("precondition: bypass active")
+	}
+	// A second player starts (e.g. picture-in-picture preview).
+	sel.SetVideoApps(2)
+	if sel.Destination() != DestDRAM {
+		t.Fatal("two video apps must disable bypass even with one plane")
+	}
+	sel.SetVideoApps(1)
+	if sel.Destination() != DestDC {
+		t.Fatal("bypass should resume with a single app")
+	}
+}

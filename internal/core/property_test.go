@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"burstlink/internal/pipeline"
+	"burstlink/internal/power"
+	"burstlink/internal/trace"
+	"burstlink/internal/units"
+)
+
+// randomScenario derives a valid planar scenario from fuzz inputs.
+func randomScenario(resIdx, fpsIdx uint8) pipeline.Scenario {
+	resList := []units.Resolution{units.FHD, units.QHD, units.R4K, units.R5K}
+	fpsList := []units.FPS{10, 15, 20, 30, 60}
+	return pipeline.Planar(resList[int(resIdx)%len(resList)], 60, fpsList[int(fpsIdx)%len(fpsList)])
+}
+
+// TestSchedulerInvariants: for every valid scenario, every scheme's
+// timeline (a) covers exactly one frame period, (b) has no negative
+// phases, (c) costs at most the baseline, and (d) full BurstLink is the
+// cheapest of the three techniques.
+func TestSchedulerInvariants(t *testing.T) {
+	p := pipeline.DefaultPlatform()
+	m := power.Default()
+	f := func(resIdx, fpsIdx uint8) bool {
+		s := randomScenario(resIdx, fpsIdx)
+		load := power.LoadOf(p, s)
+		base, err := pipeline.Conventional(p, s)
+		if err != nil {
+			return true // infeasible scenario: nothing to compare
+		}
+		refAvg := m.Evaluate(base, load).Average
+
+		check := func(tl trace.Timeline, err error) (float64, bool) {
+			if err != nil {
+				return 0, true // scheme infeasible here
+			}
+			if d := tl.Total() - s.Period(); d < -time.Microsecond || d > time.Microsecond {
+				t.Logf("%v@%d: total %v != period %v", s.Res, s.FPS, tl.Total(), s.Period())
+				return 0, false
+			}
+			for _, ph := range tl.Phases {
+				if ph.Duration < 0 || ph.DRAMRead < 0 || ph.DRAMWrite < 0 {
+					t.Logf("%v@%d: negative phase %+v", s.Res, s.FPS, ph)
+					return 0, false
+				}
+			}
+			avg := float64(m.Evaluate(tl, load).Average)
+			if avg > float64(refAvg)*1.001 {
+				t.Logf("%v@%d: scheme costs %v > baseline %v", s.Res, s.FPS, avg, refAvg)
+				return 0, false
+			}
+			return avg, true
+		}
+
+		burst, okB := check(BurstOnly(p, s))
+		bypass, okY := check(BypassOnly(p, s))
+		full, okF := check(BurstLink(p, s))
+		if !okB || !okY || !okF {
+			return false
+		}
+		// Full must be the cheapest whenever all three are feasible.
+		if burst > 0 && bypass > 0 && full > 0 {
+			if full > burst+0.001 || full > bypass+0.001 {
+				t.Logf("%v@%d: full %v above burst %v / bypass %v", s.Res, s.FPS, full, burst, bypass)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package core implements BurstLink (§4): Frame Buffer Bypass, Frame
+// Bursting, the combination of both, the destination selector that routes
+// decoder output, the PMU firmware extension, and the windowed-video PSR2
+// flow. The analytic schedulers here mirror pipeline.Conventional and
+// produce the package C-state timelines of the paper's Figs 6 and 7; the
+// functional pieces (selector, firmware) plug into the event-driven
+// simulator to validate the protocol itself.
+package core
+
+import (
+	"time"
+
+	"burstlink/internal/pipeline"
+	"burstlink/internal/soc"
+	"burstlink/internal/trace"
+	"burstlink/internal/units"
+)
+
+// BurstOnly computes one frame period under Frame Bursting alone (§4.2):
+// frames still round-trip through the DRAM frame buffer, but the DC
+// fetches and pushes them to the panel's DRFB at maximum link bandwidth,
+// pipelined with the decode, instead of pacing transfers at pixel rate.
+// Once the frame sits in the DRFB the firmware drops the package into C9
+// for the rest of the period.
+func BurstOnly(p pipeline.Platform, s pipeline.Scenario) (trace.Timeline, error) {
+	if err := s.Validate(); err != nil {
+		return trace.Timeline{}, err
+	}
+	window := s.Refresh.Window()
+
+	// C0: orchestration + decode (+ VR projection), as in the baseline.
+	decRes := s.Res
+	if s.VR {
+		decRes = s.VRSource
+	}
+	tDecode := p.OrchTime + p.DecodeTime(decRes, s.FPS)
+	tProj := time.Duration(0)
+	if s.VR {
+		tProj = p.ProjectTime(s.Res, s.FPS, s.MotionFactor)
+	}
+	tC0 := tDecode + tProj
+
+	// The DC fetch+burst pipeline runs concurrently with decode at chunk
+	// granularity, starting one chunk behind the decoder. Fetch from DRAM
+	// ends at ~skew+tFetch (C2 while it outlives decode); the link keeps
+	// draining the DC buffer until skew+max(tFetch, tLink) — DRAM is back
+	// in self-refresh for that portion, so it runs at C8 with the link in
+	// burst mode.
+	frame := s.FrameSize()
+	tFetch := p.FetchTime(s.Res, s.BPP, s.FPS)
+	tLink := p.BurstTime(s.Res, s.BPP)
+	nChunks := int((frame + p.DCBufSize - 1) / p.DCBufSize)
+	if nChunks < 1 {
+		nChunks = 1
+	}
+	skew := tFetch / time.Duration(nChunks)
+	fetchEnd := skew + tFetch
+	if fetchEnd < tC0 {
+		fetchEnd = tC0
+	}
+	linkEnd := skew + tLink
+	if linkEnd < fetchEnd {
+		linkEnd = fetchEnd
+	}
+	if linkEnd > window {
+		return trace.Timeline{}, pipeline.ErrUnderrun{Scenario: s, Need: linkEnd, Have: window}
+	}
+	c2Tail := fetchEnd - tC0
+	c8Tail := linkEnd - fetchEnd
+
+	var tl trace.Timeline
+	// The C0 phase carries the decode write plus the concurrent DC fetch
+	// reads that complete before decode ends; the C2 tail carries the
+	// rest of the reads.
+	tailRead := chunkPortion(frame, c2Tail, tFetch)
+	tl.Add(trace.Phase{
+		State: soc.C0, Duration: tDecode,
+		DRAMRead:  p.EncodedFrameSize(decRes) + (frame - tailRead),
+		DRAMWrite: decRes.FrameSize(s.BPP),
+		EDPBurst:  true, Label: "decode+burst",
+	})
+	if s.VR {
+		tl.Add(trace.Phase{
+			State: soc.C0, Duration: tProj, GPUActive: true,
+			DRAMRead:  decRes.FrameSize(s.BPP),
+			DRAMWrite: s.FrameSize(),
+			EDPBurst:  true, Label: "projection",
+		})
+	}
+	tl.Add(trace.Phase{State: soc.C2, Duration: c2Tail, DRAMRead: tailRead, EDPBurst: true, Label: "burst fetch tail"})
+	tl.Add(trace.Phase{State: soc.C8, Duration: c8Tail, EDPBurst: true, Label: "burst drain tail"})
+	// Frame delivered to the DRFB: deep sleep for the rest of the period.
+	tl.AddState(soc.C9, window-tC0-c2Tail-c8Tail, "deep idle")
+	for w := 1; w < s.WindowsPerFrame(); w++ {
+		tl.AddState(soc.C9, window, "psr(drfb)")
+	}
+	return tl, nil
+}
+
+// chunkPortion splits frame bytes proportionally to tail/total duration.
+func chunkPortion(frame units.ByteSize, part, total time.Duration) units.ByteSize {
+	if total <= 0 {
+		return 0
+	}
+	f := float64(part) / float64(total)
+	if f > 1 {
+		f = 1
+	}
+	return units.ByteSize(float64(frame) * f)
+}
+
+// BypassOnly computes one frame period under Frame Buffer Bypass alone
+// (§4.1, Fig 6): the VD decodes directly into the DC buffer while the DC
+// drains it to the panel at pixel rate, so the decode spreads across the
+// frame window as C7 (VD running) / C7' (VD clock-gated, DC draining)
+// alternation and the DRAM frame-buffer round trip disappears. Because the
+// link stays pixel-paced, the DC and display IO remain on for the whole
+// window and PSR windows bottom out at C8.
+func BypassOnly(p pipeline.Platform, s pipeline.Scenario) (trace.Timeline, error) {
+	if err := s.Validate(); err != nil {
+		return trace.Timeline{}, err
+	}
+	window := s.Refresh.Window()
+
+	decRes := s.Res
+	if s.VR {
+		decRes = s.VRSource
+	}
+	// Orchestration shrinks: the PMU firmware handles the VD wake/halt
+	// handshake (§4.1's empty/wakeup signals).
+	tC0 := p.OrchTimeBL
+	read := p.EncodedFrameSize(decRes) // VD prefetches the encoded frame in C0
+	var write units.ByteSize
+
+	tVD := p.DecodeTimeLP(decRes, s.FPS)
+	tGPU := time.Duration(0)
+	if s.VR {
+		// The GPU projection also runs in the low-power interleaved mode,
+		// reading VD output through the on-chip path.
+		tGPU = p.ProjectTime(s.Res, s.FPS, s.MotionFactor)
+	}
+	// The GPU cannot run below C0 (Table 1), so VR projection extends
+	// the C0 phase; only the VD's decode interleaves in C7.
+	send := window - tC0 - tGPU
+	if tVD > send {
+		return trace.Timeline{}, pipeline.ErrUnderrun{Scenario: s, Need: tC0 + tGPU + tVD, Have: window}
+	}
+
+	var tl trace.Timeline
+	tl.Add(trace.Phase{State: soc.C0, Duration: tC0, DRAMRead: read, DRAMWrite: write, Label: "orch"})
+	if s.VR {
+		tl.Add(trace.Phase{State: soc.C0, Duration: tGPU, GPUActive: true, Label: "projection→dc"})
+	}
+	// Interleaved decode/drain across the send window (Fig 6): total VD
+	// active time is tVD (C7); the rest of the window the VD is
+	// clock-gated while the DC drains (C7'). Rendered as one alternation
+	// pair per DC-buffer fill.
+	frame := s.FrameSize()
+	nChunks := int((frame + p.DCBufSize - 1) / p.DCBufSize)
+	if nChunks < 1 {
+		nChunks = 1
+	}
+	c7 := tVD / time.Duration(nChunks)
+	c7p := (send - tVD) / time.Duration(nChunks)
+	for i := 0; i < nChunks; i++ {
+		tl.Add(trace.Phase{State: soc.C7, Duration: c7, Label: "decode→dc"})
+		tl.Add(trace.Phase{State: soc.C7Prime, Duration: c7p, Label: "dc drain"})
+	}
+	for w := 1; w < s.WindowsPerFrame(); w++ {
+		tl.AddState(soc.C8, window, "psr")
+	}
+	return tl, nil
+}
+
+// BurstLink computes one frame period with both techniques (§4.3, Fig 7):
+// a short C0 orchestration phase, then the VD decodes into the DC buffer
+// (C7) while the DC bursts it onward at maximum link bandwidth (C7'), and
+// once the whole frame sits in the DRFB the package drops to C9 —
+// including all PSR windows of a low-FPS video.
+func BurstLink(p pipeline.Platform, s pipeline.Scenario) (trace.Timeline, error) {
+	if err := s.Validate(); err != nil {
+		return trace.Timeline{}, err
+	}
+	window := s.Refresh.Window()
+
+	decRes := s.Res
+	if s.VR {
+		decRes = s.VRSource
+	}
+	tC0 := p.OrchTimeBL
+	read := p.EncodedFrameSize(decRes)
+
+	tVD := p.DecodeTimeLP(decRes, s.FPS)
+	tGPU := time.Duration(0)
+	if s.VR {
+		tGPU = p.ProjectTime(s.Res, s.FPS, s.MotionFactor)
+	}
+	// The GPU runs only at C0 (Table 1): VR projection extends the C0
+	// phase, then the transfer is bounded by the slower of low-power
+	// decode and the burst link.
+	tXfer := tVD
+	if tLink := p.BurstTime(s.Res, s.BPP); tLink > tXfer {
+		tXfer = tLink
+	}
+	if tC0+tGPU+tXfer > window {
+		return trace.Timeline{}, pipeline.ErrUnderrun{Scenario: s, Need: tC0 + tGPU + tXfer, Have: window}
+	}
+
+	var tl trace.Timeline
+	tl.Add(trace.Phase{State: soc.C0, Duration: tC0, DRAMRead: read, Label: "orch"})
+	if s.VR {
+		tl.Add(trace.Phase{State: soc.C0, Duration: tGPU, GPUActive: true, EDPBurst: true, Label: "projection→dc"})
+	}
+	// C7/C7' alternation: VD fills the DC buffer, DC bursts it out. VD
+	// active for tVD total. When the link (not the decoder) bounds the
+	// transfer, the post-decode drain tail runs with the VD power-gated —
+	// only DC and display IO on, i.e. C8 with the link in burst mode.
+	frame := s.FrameSize()
+	nChunks := int((frame + p.DCBufSize - 1) / p.DCBufSize)
+	if nChunks < 1 {
+		nChunks = 1
+	}
+	// The DC buffer is itself double-buffered (§4.1 footnote: fill one
+	// half while draining the other), so when decode bounds the transfer
+	// the VD never halts and the whole transfer is C7; when the link
+	// bounds it, the leftover after decode has the VD halted/gated: a
+	// short C7' handover per chunk and a C8 drain tail.
+	c7 := tVD / time.Duration(nChunks)
+	for i := 0; i < nChunks; i++ {
+		tl.Add(trace.Phase{State: soc.C7, Duration: c7, EDPBurst: true, Label: "decode→dc"})
+	}
+	if tail := tXfer - tVD; tail > 0 {
+		handover := tail / 4
+		tl.Add(trace.Phase{State: soc.C7Prime, Duration: handover, EDPBurst: true, Label: "burst→drfb"})
+		tl.Add(trace.Phase{State: soc.C8, Duration: tail - handover, EDPBurst: true, Label: "burst drain tail"})
+	}
+	tl.AddState(soc.C9, window-tC0-tGPU-tXfer, "deep idle")
+	for w := 1; w < s.WindowsPerFrame(); w++ {
+		tl.AddState(soc.C9, window, "psr(drfb)")
+	}
+	return tl, nil
+}

@@ -1,0 +1,34 @@
+package display
+
+import (
+	"testing"
+
+	"burstlink/internal/edp"
+	"burstlink/internal/units"
+)
+
+func BenchmarkCompose(b *testing.B) {
+	c := NewCompositor(units.Resolution{Width: 640, Height: 360})
+	c.SetPlane(Plane{Name: "background", Z: 0, Rect: edp.Rect{W: 640, H: 360}, Fill: [3]byte{8, 8, 8}})
+	c.SetPlane(Plane{Name: "video", Z: 1, Rect: edp.Rect{X: 80, Y: 45, W: 480, H: 270}, Fill: [3]byte{100, 100, 100}})
+	c.SetPlane(Plane{Name: "cursor", Z: 2, Rect: edp.Rect{X: 300, Y: 160, W: 16, H: 16}, Fill: [3]byte{255, 255, 255}})
+	b.SetBytes(int64(640 * 360 * 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compose(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDRFBWriteFlip(b *testing.B) {
+	d := NewDRFB(units.MB)
+	f := Frame{Seq: 0, Data: make([]byte, 512*units.KB)}
+	b.SetBytes(int64(512 * units.KB))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Seq = i
+		d.Write(f)
+		d.Flip()
+	}
+}

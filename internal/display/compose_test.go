@@ -1,0 +1,143 @@
+package display
+
+import (
+	"bytes"
+	"testing"
+
+	"burstlink/internal/edp"
+	"burstlink/internal/units"
+)
+
+func smallRes() units.Resolution { return units.Resolution{Width: 32, Height: 16} }
+
+func TestCompositorValidation(t *testing.T) {
+	c := NewCompositor(smallRes())
+	if _, err := c.Compose(0); err == nil {
+		t.Fatal("compose with no planes should fail")
+	}
+	bad := Plane{Name: "x", Rect: edp.Rect{X: 30, Y: 0, W: 10, H: 4}}
+	if err := c.SetPlane(bad); err == nil {
+		t.Fatal("out-of-bounds plane should fail")
+	}
+	short := Plane{Name: "x", Rect: edp.Rect{W: 4, H: 4}, Data: []byte{1, 2, 3}}
+	if err := c.SetPlane(short); err == nil {
+		t.Fatal("short data should fail")
+	}
+}
+
+func TestCompositionZOrder(t *testing.T) {
+	c := NewCompositor(smallRes())
+	// Background fills everything; video overlays the middle; cursor on
+	// top of video.
+	full := edp.Rect{W: 32, H: 16}
+	if err := c.SetPlane(Plane{Name: "background", Z: 0, Rect: full, Fill: [3]byte{10, 10, 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPlane(Plane{Name: "video", Z: 1, Rect: edp.Rect{X: 8, Y: 4, W: 16, H: 8}, Fill: [3]byte{100, 100, 100}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPlane(Plane{Name: "cursor", Z: 2, Rect: edp.Rect{X: 10, Y: 6, W: 2, H: 2}, Fill: [3]byte{255, 255, 255}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Compose(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Seq != 7 {
+		t.Fatalf("seq = %d", f.Seq)
+	}
+	px := func(x, y int) byte { return f.Data[(y*32+x)*3] }
+	if px(0, 0) != 10 {
+		t.Fatalf("background pixel = %d", px(0, 0))
+	}
+	if px(9, 5) != 100 {
+		t.Fatalf("video pixel = %d", px(9, 5))
+	}
+	if px(10, 6) != 255 {
+		t.Fatalf("cursor pixel = %d", px(10, 6))
+	}
+}
+
+func TestCompositionZOrderIndependentOfInsertion(t *testing.T) {
+	mk := func(order []string) Frame {
+		c := NewCompositor(smallRes())
+		planes := map[string]Plane{
+			"background": {Name: "background", Z: 0, Rect: edp.Rect{W: 32, H: 16}, Fill: [3]byte{1, 1, 1}},
+			"video":      {Name: "video", Z: 1, Rect: edp.Rect{X: 4, Y: 4, W: 8, H: 8}, Fill: [3]byte{2, 2, 2}},
+			"gui":        {Name: "gui", Z: 2, Rect: edp.Rect{X: 6, Y: 6, W: 4, H: 4}, Fill: [3]byte{3, 3, 3}},
+		}
+		for _, n := range order {
+			c.SetPlane(planes[n])
+		}
+		f, _ := c.Compose(0)
+		return f
+	}
+	a := mk([]string{"background", "video", "gui"})
+	b := mk([]string{"gui", "background", "video"})
+	if !bytes.Equal(a.Data, b.Data) {
+		t.Fatal("composition depends on insertion order, not Z")
+	}
+}
+
+func TestTransparentCursor(t *testing.T) {
+	c := NewCompositor(smallRes())
+	c.SetPlane(Plane{Name: "background", Z: 0, Rect: edp.Rect{W: 32, H: 16}, Fill: [3]byte{10, 10, 10}})
+	// A 2x1 cursor whose second pixel is the transparent key color.
+	cur := []byte{255, 255, 255, 9, 9, 9}
+	c.SetPlane(Plane{Name: "cursor", Z: 1, Rect: edp.Rect{X: 0, Y: 0, W: 2, H: 1},
+		Data: cur, Fill: [3]byte{9, 9, 9}, Transparent: true})
+	f, _ := c.Compose(0)
+	if f.Data[0] != 255 {
+		t.Fatal("opaque cursor pixel missing")
+	}
+	if f.Data[3] != 10 {
+		t.Fatal("transparent pixel should show background")
+	}
+}
+
+func TestVideoPlaneOnlySignal(t *testing.T) {
+	c := NewCompositor(smallRes())
+	c.SetPlane(Plane{Name: "video", Z: 0, Rect: edp.Rect{W: 32, H: 16}, Fill: [3]byte{1, 1, 1}})
+	if !c.VideoPlaneOnly() {
+		t.Fatal("single video plane should assert video_plane_only")
+	}
+	c.SetPlane(Plane{Name: "gui", Z: 1, Rect: edp.Rect{W: 8, H: 8}, Fill: [3]byte{2, 2, 2}})
+	if c.VideoPlaneOnly() {
+		t.Fatal("GUI plane should deassert video_plane_only")
+	}
+	if c.PlaneCount() != 2 {
+		t.Fatalf("plane count = %d", c.PlaneCount())
+	}
+	c.RemovePlane("gui")
+	if !c.VideoPlaneOnly() {
+		t.Fatal("removing the GUI should restore video_plane_only")
+	}
+	c.RemovePlane("nope") // no-op
+	if c.PlaneCount() != 1 {
+		t.Fatal("unexpected plane count after removing unknown name")
+	}
+}
+
+func TestSetPlaneReplacesByName(t *testing.T) {
+	c := NewCompositor(smallRes())
+	c.SetPlane(Plane{Name: "video", Rect: edp.Rect{W: 32, H: 16}, Fill: [3]byte{1, 1, 1}})
+	c.SetPlane(Plane{Name: "video", Rect: edp.Rect{W: 32, H: 16}, Fill: [3]byte{5, 5, 5}})
+	if c.PlaneCount() != 1 {
+		t.Fatalf("plane count = %d after replace", c.PlaneCount())
+	}
+	f, _ := c.Compose(0)
+	if f.Data[0] != 5 {
+		t.Fatal("replacement did not take effect")
+	}
+}
+
+func TestComposeStats(t *testing.T) {
+	c := NewCompositor(smallRes())
+	c.SetPlane(Plane{Name: "video", Rect: edp.Rect{W: 32, H: 16}, Fill: [3]byte{1, 1, 1}})
+	c.Compose(0)
+	c.Compose(1)
+	st := c.Stats()
+	if st.Frames != 2 || st.Pixels != 2*32*16 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

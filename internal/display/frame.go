@@ -1,0 +1,63 @@
+// Package display models the panel side of the display subsystem (§2.3
+// and Fig 2): the timing controller (T-con) with its remote frame buffer —
+// single RFB in conventional PSR panels, double RFB (DRFB) in BurstLink
+// panels (§4.1) — the pixel formatter that feeds the LCD row/column
+// drivers, the PSR/PSR2 protocol state machine, and tearing detection,
+// which is the observable failure mode of updating a buffer that is being
+// scanned out.
+package display
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"burstlink/internal/units"
+)
+
+// Frame is a fully-composed frame as delivered to the panel. Data may be
+// nil for timing-only simulations; when present, the panel verifies it end
+// to end via checksums.
+type Frame struct {
+	Seq  int    // presentation sequence number
+	Data []byte // raw pixel bytes, len == Resolution.FrameSize(bpp) when set
+}
+
+// Size returns the frame payload size.
+func (f Frame) Size() units.ByteSize { return units.ByteSize(len(f.Data)) }
+
+// Checksum returns a CRC32 of the pixel data (0 for metadata-only frames).
+func (f Frame) Checksum() uint32 {
+	if len(f.Data) == 0 {
+		return 0
+	}
+	return crc32.ChecksumIEEE(f.Data)
+}
+
+// FrameStore is a T-con frame buffer: either a conventional single RFB or
+// BurstLink's DRFB. The scan side reads the visible frame while the link
+// side writes incoming frames; whether those can overlap safely is exactly
+// what distinguishes the two implementations.
+type FrameStore interface {
+	// Banks returns the number of frame banks (1 or 2).
+	Banks() int
+	// Capacity returns the per-bank capacity.
+	Capacity() units.ByteSize
+	// Write stores an incoming frame. On a single RFB concurrent with an
+	// active scan this succeeds but records a tear.
+	Write(f Frame) error
+	// Visible returns the frame the panel currently refreshes from.
+	Visible() (Frame, bool)
+	// Flip publishes the most recently written frame for scan-out. On a
+	// single RFB this is a no-op (writes are immediately visible).
+	Flip() error
+	// BeginScan and EndScan bracket one panel refresh pass.
+	BeginScan()
+	EndScan()
+	// Tears returns how many writes landed in a bank being scanned.
+	Tears() int
+}
+
+// errFrameTooLarge is returned when a frame exceeds the store capacity.
+func errFrameTooLarge(got, capacity units.ByteSize) error {
+	return fmt.Errorf("display: frame %v exceeds bank capacity %v", got, capacity)
+}

@@ -1,0 +1,76 @@
+package display
+
+import (
+	"testing"
+	"time"
+
+	"burstlink/internal/edp"
+	"burstlink/internal/units"
+)
+
+func TestLCDLineTime(t *testing.T) {
+	lcd := NewLCD(Config{Resolution: units.FHD, BPP: 24, Refresh: 60})
+	// 1080 lines in 16.67 ms → ~15.4 µs per line.
+	lt := lcd.LineTime()
+	if lt < 15*time.Microsecond || lt > 16*time.Microsecond {
+		t.Fatalf("line time = %v, want ~15.4µs", lt)
+	}
+	if NewLCD(Config{}).LineTime() != 0 {
+		t.Fatal("degenerate config should yield zero line time")
+	}
+}
+
+func TestLCDScanOut(t *testing.T) {
+	cfg := Config{Resolution: units.FHD, BPP: 24, Refresh: 60}
+	lcd := NewLCD(cfg)
+	d, err := lcd.ScanOut(Frame{Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != cfg.Refresh.Window() {
+		t.Fatalf("scan duration = %v, want one window", d)
+	}
+	st := lcd.Stats()
+	if st.Frames != 1 || st.LinesScanned != 1080 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Wrong-sized pixel data is rejected.
+	if _, err := lcd.ScanOut(Frame{Seq: 2, Data: make([]byte, 10)}); err == nil {
+		t.Fatal("wrong-size frame should fail")
+	}
+}
+
+func TestLCDFlickerOnOverdrive(t *testing.T) {
+	// §3 Observation 2: feeding the drivers above the panel's fixed
+	// pixel-update rate flickers. The eDP burst rate (25.92 Gbps) is far
+	// above an FHD60 panel's ~3 Gbps update rate — this is exactly why a
+	// burst *requires* the DRFB to decouple link from glass.
+	cfg := Config{Resolution: units.FHD, BPP: 24, Refresh: 60}
+	lcd := NewLCD(cfg)
+	if lcd.CheckSourceRate(cfg.PixelRate()) != true {
+		t.Fatal("native rate should be clean")
+	}
+	if lcd.CheckSourceRate(edp.EDP14().MaxBandwidth()) {
+		t.Fatal("burst-rate feed must flicker without a DRFB")
+	}
+	if lcd.Stats().Flicker != 1 {
+		t.Fatalf("flicker = %d", lcd.Stats().Flicker)
+	}
+	// With the DRFB, the PF pulls from the buffer at the native rate no
+	// matter how fast the link filled it: clean.
+	if !lcd.CheckSourceRate(cfg.PixelRate()) {
+		t.Fatal("DRFB-decoupled feed should be clean")
+	}
+}
+
+func TestLCDToleranceBand(t *testing.T) {
+	cfg := Config{Resolution: units.FHD, BPP: 24, Refresh: 60}
+	lcd := NewLCD(cfg)
+	// 1% over is within driver tolerance.
+	if !lcd.CheckSourceRate(units.DataRate(float64(cfg.PixelRate()) * 1.01)) {
+		t.Fatal("1% overdrive should be tolerated")
+	}
+	if lcd.CheckSourceRate(units.DataRate(float64(cfg.PixelRate()) * 1.05)) {
+		t.Fatal("5% overdrive should flicker")
+	}
+}

@@ -1,0 +1,92 @@
+package display
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"burstlink/internal/sim"
+	"burstlink/internal/units"
+)
+
+func vblankSetup(double bool) (*sim.Engine, *Panel, *VblankDriver) {
+	eng := &sim.Engine{}
+	panel := NewPanel(Config{Resolution: units.Resolution{Width: 64, Height: 32}, BPP: 24, Refresh: 60, DoubleRFB: double})
+	panel.ReceiveFrame(Frame{Seq: 0})
+	panel.Store().Flip()
+	return eng, panel, NewVblankDriver(eng, panel)
+}
+
+func TestVblankCadence(t *testing.T) {
+	eng, _, d := vblankSetup(true)
+	d.RunFor(time.Second)
+	// 60 Hz for one second: 60 scans.
+	if d.Scans() != 60 {
+		t.Fatalf("scans = %d, want 60", d.Scans())
+	}
+	if eng.Now() != time.Second {
+		t.Fatalf("clock = %v", eng.Now())
+	}
+}
+
+func TestVblankRandomBurstArrivalsNeverTearOnDRFB(t *testing.T) {
+	// Property: frames bursting in at arbitrary instants — mid-scan or
+	// not — never tear on a DRFB panel and always display in order.
+	rng := rand.New(rand.NewSource(7))
+	_, panel, d := vblankSetup(true)
+	var displayed []int
+	d.OnVblank(func(seq int) { displayed = append(displayed, seq) })
+
+	window := units.RefreshRate(60).Window()
+	for i := 1; i <= 100; i++ {
+		// Advance a random fraction of a window, then deliver.
+		d.RunFor(time.Duration(rng.Int63n(int64(window))))
+		if err := d.DeliverMidScan(Frame{Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+		// Let at least one vblank pass so the flip publishes.
+		d.RunFor(window)
+	}
+	if panel.Stats().Tears != 0 {
+		t.Fatalf("tears = %d on DRFB", panel.Stats().Tears)
+	}
+	for i := 1; i < len(displayed); i++ {
+		if displayed[i] < displayed[i-1] {
+			t.Fatalf("display order regressed: %v", displayed[i-1:i+1])
+		}
+	}
+	if panel.Stats().UniqueFrames < 90 {
+		t.Fatalf("unique frames = %d, want ~100", panel.Stats().UniqueFrames)
+	}
+}
+
+func TestVblankMidScanTearsOnSingleRFB(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	_, panel, d := vblankSetup(false)
+	window := units.RefreshRate(60).Window()
+	for i := 1; i <= 50; i++ {
+		// Deliver strictly mid-scan (never at a vblank instant).
+		d.RunFor(time.Duration(rng.Int63n(int64(window)-2) + 1))
+		if err := d.DeliverMidScan(Frame{Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+		d.RunFor(window)
+	}
+	if panel.Stats().Tears == 0 {
+		t.Fatal("mid-scan deliveries on a single RFB must tear")
+	}
+}
+
+func TestVblankStop(t *testing.T) {
+	_, _, d := vblankSetup(true)
+	d.RunFor(100 * time.Millisecond)
+	n := d.Scans()
+	d.Stop()
+	d.RunFor(100 * time.Millisecond)
+	if d.Scans() != n {
+		t.Fatal("scans continued after Stop")
+	}
+	if err := d.DeliverMidScan(Frame{Seq: 99}); err == nil {
+		t.Fatal("delivery after stop should fail")
+	}
+}

@@ -1,0 +1,33 @@
+package exp
+
+import "testing"
+
+func TestDayInLife(t *testing.T) {
+	tab, err := DayInLife()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 5 segments + total", len(tab.Rows))
+	}
+	var worst, best float64 = 1, 0
+	for _, row := range tab.Rows[:len(tab.Rows)-1] {
+		red := parsePct(t, row[4])
+		if red <= 0 {
+			t.Errorf("%s: no saving", row[0])
+		}
+		if red < worst {
+			worst = red
+		}
+		if red > best {
+			best = red
+		}
+	}
+	day := parsePct(t, tab.Rows[len(tab.Rows)-1][4])
+	// The whole-day saving is a weighted mix: strictly between the worst
+	// and best segment savings.
+	if day <= worst || day >= best {
+		t.Fatalf("day saving %.1f%% outside segment range [%.1f%%, %.1f%%]",
+			day*100, worst*100, best*100)
+	}
+}

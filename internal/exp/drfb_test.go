@@ -1,0 +1,25 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblationDRFB(t *testing.T) {
+	tab, err := AblationDRFB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleTears, _ := strconv.Atoi(tab.Rows[0][1])
+	doubleTears, _ := strconv.Atoi(tab.Rows[1][1])
+	if singleTears == 0 {
+		t.Fatal("bursting into a single RFB must tear")
+	}
+	if doubleTears != 0 {
+		t.Fatalf("DRFB tears = %d, want 0", doubleTears)
+	}
+	// Both display every frame exactly once.
+	if tab.Rows[0][3] != tab.Rows[1][3] {
+		t.Fatal("frame counts should match")
+	}
+}

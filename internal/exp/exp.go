@@ -1,0 +1,119 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (§6), each producing a printable Table of the same rows or
+// series the paper reports. The CLI (cmd/burstlink) prints them, the
+// bench harness (bench_test.go) regenerates them, and EXPERIMENTS.md
+// records paper-vs-measured values.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID    string
+	Title string
+	// Header names the columns; Rows are the data.
+	Header []string
+	Rows   [][]string
+	// Notes carry reproduction caveats shown under the table.
+	Notes []string
+}
+
+// String renders the table as aligned plain text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c + "  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment couples an ID with its driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (Table, error)
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig1", "Baseline energy breakdown vs resolution (normalized to FHD)", Fig1},
+		{"fig3", "Baseline package C-state timelines (30/60 FPS on 60 Hz)", Fig3},
+		{"fig4", "Web browsing → FHD 60FPS streaming: power and residencies", Fig4},
+		{"table2", "Per-C-state power and residency: baseline vs BurstLink (FHD 30FPS)", Table2},
+		{"fig6", "Frame Buffer Bypass C-state timelines", Fig6},
+		{"fig7", "Full BurstLink C-state timelines", Fig7},
+		{"fig9", "Planar 30FPS energy reduction: Burst / Bypass / BurstLink", Fig9},
+		{"fig10", "Energy breakdown into DRAM / Display / Others", Fig10},
+		{"fig11a", "VR energy reduction across five workloads", Fig11a},
+		{"fig11b", "VR energy reduction vs per-eye resolution (Rhino)", Fig11b},
+		{"fig12", "Planar 60FPS energy reduction", Fig12},
+		{"fig13", "BurstLink vs frame-buffer compression (4K/5K, 60 Hz)", Fig13},
+		{"fig14a", "Frame Buffer Bypassing on local high-rate playback", Fig14a},
+		{"fig14b", "Frame Bursting on four mobile workloads", Fig14b},
+		{"zhang", "BurstLink vs Zhang et al. (race-to-sleep + caching)", ZhangCompare},
+		{"vip", "BurstLink vs VIP (IP chaining)", VIPCompare},
+		{"valid", "Power-model validation against Table 2 anchors", Validation},
+	}
+}
+
+// FullRegistry appends the extension experiments (battery life, future
+// displays, ablations) to the paper's tables and figures.
+func FullRegistry() []Experiment { return append(Registry(), extensions()...) }
+
+// ByID returns the experiment with the given ID, searching the paper
+// experiments and the extensions.
+func ByID(id string) (Experiment, error) {
+	for _, e := range FullRegistry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range FullRegistry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// mw formats a power value in mW.
+func mw(f float64) string { return fmt.Sprintf("%.0f mW", f) }

@@ -1,0 +1,226 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePct parses "41.2%" into 0.412.
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage %q: %v", s, err)
+	}
+	return v / 100
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range Registry() {
+		tab, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", e.ID)
+		}
+		if out := tab.String(); !strings.Contains(out, e.ID) {
+			t.Errorf("%s: render missing ID", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown ID should error")
+	}
+}
+
+func TestFig9ShapeMatchesPaper(t *testing.T) {
+	tab, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: Resolution, Baseline, Burst, Bypass, BurstLink.
+	var prevFull float64
+	for i, row := range tab.Rows {
+		burst := parsePct(t, row[2])
+		bypass := parsePct(t, row[3])
+		full := parsePct(t, row[4])
+		if !(full > bypass && bypass > burst && burst > 0) {
+			t.Errorf("row %s: ordering full %v > bypass %v > burst %v violated", row[0], full, bypass, burst)
+		}
+		if i > 0 && full <= prevFull {
+			t.Errorf("row %s: full reduction not increasing with resolution", row[0])
+		}
+		prevFull = full
+	}
+	// FHD anchor: full ≈ 37-43%.
+	fhdFull := parsePct(t, tab.Rows[0][4])
+	if fhdFull < 0.35 || fhdFull > 0.45 {
+		t.Errorf("FHD full reduction = %.1f%%, want 37-43%%", fhdFull*100)
+	}
+}
+
+func TestFig12BeatsFig9(t *testing.T) {
+	t9, _ := Fig9()
+	t12, _ := Fig12()
+	for i := range t9.Rows {
+		if parsePct(t, t12.Rows[i][4]) <= parsePct(t, t9.Rows[i][4]) {
+			t.Errorf("%s: 60FPS reduction should exceed 30FPS", t9.Rows[i][0])
+		}
+	}
+}
+
+func TestFig11aShape(t *testing.T) {
+	tab, err := Fig11a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 workloads", len(tab.Rows))
+	}
+	var calm, wild float64
+	for _, row := range tab.Rows {
+		red := parsePct(t, row[3])
+		if red < 0.10 || red > 0.45 {
+			t.Errorf("%s: reduction %.1f%% outside the paper's band (≤33%%, positive)", row[0], red*100)
+		}
+		switch row[0] {
+		case "Timelapse":
+			calm = red
+		case "Rollercoaster":
+			wild = red
+		}
+	}
+	// Compute-dominant (high-motion) workloads benefit less.
+	if wild >= calm {
+		t.Errorf("Rollercoaster %.1f%% should benefit less than Timelapse %.1f%%", wild*100, calm*100)
+	}
+}
+
+func TestFig11bDecreasingWithResolution(t *testing.T) {
+	tab, err := Fig11b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.0
+	for _, row := range tab.Rows {
+		red := parsePct(t, row[2])
+		if red >= prev {
+			t.Errorf("%s: reduction %.1f%% should decrease with VR resolution", row[0], red*100)
+		}
+		prev = red
+	}
+}
+
+func TestFig13FBCFarBelowBurstLink(t *testing.T) {
+	tab, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		fbc50 := parsePct(t, row[3])
+		bl := parsePct(t, row[4])
+		if bl < 2.5*fbc50 {
+			t.Errorf("%s: BurstLink %.1f%% should dwarf FBC@50%% %.1f%%", row[0], bl*100, fbc50*100)
+		}
+		if fbc20 := parsePct(t, row[1]); fbc20 >= fbc50 {
+			t.Errorf("%s: FBC not monotone in rate", row[0])
+		}
+	}
+}
+
+func TestFig14aOver40Percent(t *testing.T) {
+	tab, err := Fig14a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if red := parsePct(t, row[2]); red < 0.35 {
+			t.Errorf("%s: bypass reduction = %.1f%%, paper reports > 40%%", row[0], red*100)
+		}
+	}
+}
+
+func TestFig14bBand(t *testing.T) {
+	tab, err := Fig14b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		for col := 1; col <= 3; col++ {
+			red := parsePct(t, row[col])
+			if red < 0.15 || red > 0.45 {
+				t.Errorf("%s col %d: reduction %.1f%% outside 15-45%% band (paper ~27-30%%)", row[0], col, red*100)
+			}
+		}
+	}
+}
+
+func TestZhangComparisonShape(t *testing.T) {
+	tab, err := ZhangCompare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := parsePct(t, tab.Rows[0][1])
+	bl := parsePct(t, tab.Rows[1][1])
+	if z < 0.01 || z > 0.15 {
+		t.Errorf("Zhang reduction = %.1f%%, want small (~6%%)", z*100)
+	}
+	if bl < 3*z {
+		t.Errorf("BurstLink %.1f%% should be several times Zhang %.1f%%", bl*100, z*100)
+	}
+}
+
+func TestVIPComparisonShape(t *testing.T) {
+	tab, err := VIPCompare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := parsePct(t, tab.Rows[0][1])
+	bl := parsePct(t, tab.Rows[1][1])
+	if bl <= v {
+		t.Errorf("BurstLink %.1f%% must beat VIP %.1f%%", bl*100, v*100)
+	}
+	if tab.Rows[0][2] == "C9" {
+		t.Error("VIP must not reach C9")
+	}
+	if tab.Rows[1][2] != "C9" {
+		t.Error("BurstLink must reach C9")
+	}
+}
+
+func TestValidationAccuracy(t *testing.T) {
+	tab, err := Validation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		acc, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc < 96 {
+			t.Errorf("%s: accuracy %.1f%% below the paper's 96%%", row[0], acc)
+		}
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	tab, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"baseline", "burstlink", "C0", "C9", "AvgP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 output missing %q", want)
+		}
+	}
+}

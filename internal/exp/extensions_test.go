@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionExperimentsRun(t *testing.T) {
+	for _, e := range extensions() {
+		tab, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", e.ID)
+		}
+	}
+}
+
+func TestFullRegistryIncludesExtensions(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range FullRegistry() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment ID %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig9", "battery", "future", "abl-dcbuf", "abl-edp", "abl-orch"} {
+		if !ids[want] {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+	if _, err := ByID("battery"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatteryGainPositiveAndGrowing(t *testing.T) {
+	tab, err := Battery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, row := range tab.Rows {
+		gain := parsePct(t, strings.TrimPrefix(row[3], "+"))
+		if gain <= 0.3 {
+			t.Errorf("%s: battery gain %.0f%%, want substantial", row[0], gain*100)
+		}
+		if gain <= prev {
+			t.Errorf("%s: gain should grow with workload intensity", row[0])
+		}
+		prev = gain
+	}
+}
+
+func TestFutureDisplaysTrend(t *testing.T) {
+	tab, err := FutureDisplays()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's §8 claim: reduction grows for future configurations.
+	today := parsePct(t, tab.Rows[0][2])
+	for _, row := range tab.Rows[1:] {
+		if row[2] == "infeasible" {
+			t.Errorf("%s unexpectedly infeasible", row[0])
+			continue
+		}
+		if parsePct(t, row[2]) <= today {
+			t.Errorf("%s: reduction %s not above today's %s", row[0], row[2], tab.Rows[0][2])
+		}
+	}
+}
+
+func TestAblationDCBufferMonotone(t *testing.T) {
+	tab, err := AblationDCBuffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smaller chunks → more C2 entries in the baseline → larger relative
+	// BurstLink advantage.
+	prev := 2.0
+	for _, row := range tab.Rows {
+		red := parsePct(t, row[2])
+		if red >= prev {
+			t.Errorf("buffer %s: reduction %.1f%% should fall as chunks grow", row[0], red*100)
+		}
+		prev = red
+	}
+}
+
+func TestAblationEDPShowsInfeasibility(t *testing.T) {
+	tab, err := AblationEDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.Rows[0][2], "infeasible") {
+		t.Errorf("eDP 1.3 should be infeasible at 5K60 burst: %q", tab.Rows[0][2])
+	}
+	// Faster links help.
+	if parsePct(t, tab.Rows[2][2]) <= parsePct(t, tab.Rows[1][2]) {
+		t.Error("2x link should beat eDP 1.4")
+	}
+}
+
+func TestAblationOrchOffloadHelps(t *testing.T) {
+	tab, err := AblationOrch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := parsePct(t, tab.Rows[0][2])
+	without := parsePct(t, tab.Rows[1][2])
+	if with <= without {
+		t.Errorf("offload %.1f%% should beat no-offload %.1f%%", with*100, without*100)
+	}
+	// §6.4: orchestration drops from ~10% to <5% of frame time; our C0
+	// residencies reflect the offload.
+	c0With := parsePct(t, tab.Rows[0][1])
+	c0Without := parsePct(t, tab.Rows[1][1])
+	if c0With >= c0Without {
+		t.Error("offload should shrink C0 residency")
+	}
+}

@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// jsonTable is the machine-readable form of a Table.
+type jsonTable struct {
+	ID     string              `json:"id"`
+	Title  string              `json:"title"`
+	Header []string            `json:"header"`
+	Rows   []map[string]string `json:"rows"`
+	Notes  []string            `json:"notes,omitempty"`
+}
+
+// JSON renders the table as indented JSON with rows keyed by column name,
+// so downstream tooling (plots, dashboards) can consume experiment
+// results without screen-scraping the text tables.
+func (t Table) JSON() ([]byte, error) {
+	jt := jsonTable{ID: t.ID, Title: t.Title, Header: t.Header, Notes: t.Notes}
+	for _, row := range t.Rows {
+		m := make(map[string]string, len(row))
+		for i, cell := range row {
+			key := fmt.Sprintf("col%d", i)
+			if i < len(t.Header) {
+				key = t.Header[i]
+			}
+			m[key] = cell
+		}
+		jt.Rows = append(jt.Rows, m)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(jt); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTableJSON(t *testing.T) {
+	tab, err := Validation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tab.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID     string              `json:"id"`
+		Header []string            `json:"header"`
+		Rows   []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != "valid" || len(decoded.Rows) != len(tab.Rows) {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	// Rows are keyed by header names.
+	if _, ok := decoded.Rows[0]["Accuracy"]; !ok {
+		t.Fatalf("row keys = %v", decoded.Rows[0])
+	}
+}
+
+func TestAllTablesSerializable(t *testing.T) {
+	for _, e := range FullRegistry() {
+		tab, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if _, err := tab.JSON(); err != nil {
+			t.Errorf("%s: JSON: %v", e.ID, err)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package exp
+
+import (
+	"fmt"
+
+	"burstlink/internal/baseline"
+	"burstlink/internal/core"
+	"burstlink/internal/pipeline"
+	"burstlink/internal/power"
+	"burstlink/internal/soc"
+	"burstlink/internal/trace"
+	"burstlink/internal/units"
+	"burstlink/internal/workload"
+)
+
+// env bundles the shared experiment environment.
+type env struct {
+	p pipeline.Platform
+	m power.Model
+}
+
+func newEnv() env {
+	return env{p: pipeline.DefaultPlatform(), m: power.Default()}
+}
+
+// avg evaluates a timeline's average power for a scenario.
+func (e env) avg(tl trace.Timeline, s pipeline.Scenario) float64 {
+	return float64(e.m.Evaluate(tl, power.LoadOf(e.p, s)).Average)
+}
+
+// schemes runs baseline + the three BurstLink variants for a scenario and
+// returns average powers.
+func (e env) schemes(s pipeline.Scenario) (base, burst, bypass, full float64, err error) {
+	tb, err := pipeline.Conventional(e.p, s)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	tburst, err := core.BurstOnly(e.p, s)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	tbyp, err := core.BypassOnly(e.p, s)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	tfull, err := core.BurstLink(e.p, s)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return e.avg(tb, s), e.avg(tburst, s), e.avg(tbyp, s), e.avg(tfull, s), nil
+}
+
+// Fig1 reproduces Fig 1: baseline energy breakdown (DRAM / Display /
+// Others) while streaming 30 FPS video at FHD/QHD/4K, normalized to the
+// FHD total.
+func Fig1() (Table, error) {
+	e := newEnv()
+	var fhdTotal float64
+	t := Table{
+		ID: "fig1", Title: "Baseline streaming energy, normalized to FHD total",
+		Header: []string{"Resolution", "DRAM", "Display", "Others", "Total"},
+	}
+	for _, res := range []units.Resolution{units.FHD, units.QHD, units.R4K} {
+		s := pipeline.Planar(res, 60, 30)
+		tl, err := pipeline.Conventional(e.p, s)
+		if err != nil {
+			return t, err
+		}
+		bd := e.m.BreakdownOf(tl, power.LoadOf(e.p, s))
+		if res == units.FHD {
+			fhdTotal = float64(bd.Total())
+		}
+		t.Rows = append(t.Rows, []string{
+			res.Name(),
+			pct(float64(bd.DRAM) / fhdTotal),
+			pct(float64(bd.Display) / fhdTotal),
+			pct(float64(bd.Others) / fhdTotal),
+			pct(float64(bd.Total()) / fhdTotal),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: DRAM alone exceeds 30% of system energy at 4K; our model reaches ~17% (DRAM-rail attribution differs) but reproduces the growth trend")
+	return t, nil
+}
+
+// Fig3 reproduces Fig 3: the baseline package C-state timeline for 30 and
+// 60 FPS video on a 60 Hz panel, rendered as residencies and an ASCII
+// timeline (idealized PSR-deep variant included for the 30 FPS case).
+func Fig3() (Table, error) {
+	e := newEnv()
+	t := Table{
+		ID: "fig3", Title: "Baseline C-state timelines (FHD on 60 Hz)",
+		Header: []string{"Case", "Timeline (one period)", "Residency"},
+	}
+	for _, fps := range []units.FPS{30, 60} {
+		s := pipeline.Planar(units.FHD, 60, fps)
+		tl, err := pipeline.Conventional(e.p, s)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d FPS", fps), tl.ASCII(48), tl.String(),
+		})
+	}
+	deep := e.p
+	deep.PSRDeep = true
+	tl, err := pipeline.Conventional(deep, pipeline.Planar(units.FHD, 60, 30))
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, []string{"30 FPS (ideal PSR→C9)", tl.ASCII(48), tl.String()})
+	return t, nil
+}
+
+// Fig4 reproduces Fig 4: a web-browsing stretch followed by FHD 60FPS
+// streaming, reporting average power and the dominant residencies.
+func Fig4() (Table, error) {
+	e := newEnv()
+	t := Table{
+		ID: "fig4", Title: "Web browsing → FHD 60FPS streaming on 60 Hz",
+		Header: []string{"Phase", "AvgPower", "C0", "C2", "C8"},
+	}
+	browse, err := workload.UIConventional(e.p, workload.WebBrowsing(), units.FHD, 60)
+	if err != nil {
+		return t, err
+	}
+	s := pipeline.Planar(units.FHD, 60, 60)
+	stream, err := pipeline.Conventional(e.p, s)
+	if err != nil {
+		return t, err
+	}
+	for _, row := range []struct {
+		name string
+		tl   trace.Timeline
+	}{{"web browsing", browse}, {"video streaming", stream}} {
+		res := row.tl.Residency()
+		t.Rows = append(t.Rows, []string{
+			row.name,
+			mw(e.avg(row.tl, s)),
+			pct(res[soc.C0]), pct(res[soc.C2]), pct(res[soc.C8]),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: streaming phase ≈ 2831 mW mean with C8≈75%, C2≈15%, C0≈8% residency")
+	return t, nil
+}
+
+// Table2 reproduces Table 2: per-C-state power and residency for baseline
+// and BurstLink at FHD 30FPS, plus the average power.
+func Table2() (Table, error) {
+	e := newEnv()
+	s := pipeline.Planar(units.FHD, 60, 30)
+	load := power.LoadOf(e.p, s)
+	t := Table{
+		ID: "table2", Title: "FHD 30FPS on 60 Hz: per-state power and residency",
+		Header: []string{"Scheme", "State", "Power", "Residency"},
+	}
+	base, err := pipeline.Conventional(e.p, s)
+	if err != nil {
+		return t, err
+	}
+	full, err := core.BurstLink(e.p, s)
+	if err != nil {
+		return t, err
+	}
+	emit := func(name string, tl trace.Timeline) {
+		res := tl.Residency()
+		states := make([]soc.PackageCState, 0, len(res))
+		for st := range res {
+			states = append(states, st)
+		}
+		for i := 0; i < len(states); i++ {
+			for j := i + 1; j < len(states); j++ {
+				if states[j] < states[i] {
+					states[i], states[j] = states[j], states[i]
+				}
+			}
+		}
+		for _, st := range states {
+			// Representative phase power: state base plus the average
+			// op/burst premium of its phases.
+			var energy, dur float64
+			for _, ph := range tl.Phases {
+				if ph.State == st {
+					energy += float64(e.m.PhasePower(ph, load)) * ph.Duration.Seconds()
+					dur += ph.Duration.Seconds()
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				name, st.String(), mw(energy / dur), pct(res[st]),
+			})
+		}
+		r := e.m.Evaluate(tl, load)
+		t.Rows = append(t.Rows, []string{name, "AvgP", mw(float64(r.Average)), "100%"})
+	}
+	emit("baseline", base)
+	emit("burstlink", full)
+	t.Notes = append(t.Notes,
+		"paper baseline: C0 5940/9%, C2 5445/11%, C8 1285/80%, AvgP 2162 mW",
+		"paper burstlink: C0 6090/2%, C7 1530/19%, C9 1090/79%, AvgP 1274 mW")
+	return t, nil
+}
+
+// Fig6 reproduces Fig 6: C-state timelines under Frame Buffer Bypass.
+func Fig6() (Table, error) {
+	return techniqueTimelines("fig6", "Frame Buffer Bypass timelines (FHD on 60 Hz)", core.BypassOnly)
+}
+
+// Fig7 reproduces Fig 7: C-state timelines under full BurstLink.
+func Fig7() (Table, error) {
+	return techniqueTimelines("fig7", "Full BurstLink timelines (FHD on 60 Hz)", core.BurstLink)
+}
+
+func techniqueTimelines(id, title string, fn func(pipeline.Platform, pipeline.Scenario) (trace.Timeline, error)) (Table, error) {
+	e := newEnv()
+	t := Table{ID: id, Title: title, Header: []string{"Case", "Timeline (one period)", "Residency"}}
+	for _, fps := range []units.FPS{30, 60} {
+		tl, err := fn(e.p, pipeline.Planar(units.FHD, 60, fps))
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d FPS", fps), tl.ASCII(48), tl.String()})
+	}
+	return t, nil
+}
+
+// Fig9 reproduces Fig 9: total system energy reduction of Frame Bursting,
+// Frame Buffer Bypassing, and full BurstLink for 30 FPS video at
+// FHD/QHD/4K/5K.
+func Fig9() (Table, error) { return planarReductions("fig9", 30) }
+
+// Fig12 reproduces Fig 12: the same sweep at 60 FPS.
+func Fig12() (Table, error) { return planarReductions("fig12", 60) }
+
+func planarReductions(id string, fps units.FPS) (Table, error) {
+	e := newEnv()
+	t := Table{
+		ID: id, Title: fmt.Sprintf("Energy reduction vs baseline, %d FPS on 60 Hz", fps),
+		Header: []string{"Resolution", "Baseline", "Burst", "Bypass", "BurstLink"},
+	}
+	for _, res := range workload.PlanarResolutions() {
+		s := pipeline.Planar(res, 60, fps)
+		base, burst, bypass, full, err := e.schemes(s)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			res.Name(), mw(base),
+			pct(1 - burst/base), pct(1 - bypass/base), pct(1 - full/base),
+		})
+	}
+	if fps == 30 {
+		t.Notes = append(t.Notes, "paper: FHD burst 23%, bypass 31%, full 37%; full rises to ~40.6% (4K) and ~42% (5K)")
+	} else {
+		t.Notes = append(t.Notes, "paper: full 46% (FHD) to 47% (5K)")
+	}
+	return t, nil
+}
+
+// Fig10 reproduces Fig 10: energy breakdown (DRAM/Display/Others) of
+// baseline vs BurstLink at each resolution, normalized per-resolution to
+// the baseline total.
+func Fig10() (Table, error) {
+	e := newEnv()
+	t := Table{
+		ID: "fig10", Title: "Energy breakdown, baseline vs BurstLink (30 FPS)",
+		Header: []string{"Resolution", "Scheme", "DRAM", "Display", "Others", "DRAM reduction"},
+	}
+	for _, res := range workload.PlanarResolutions() {
+		s := pipeline.Planar(res, 60, 30)
+		load := power.LoadOf(e.p, s)
+		base, err := pipeline.Conventional(e.p, s)
+		if err != nil {
+			return t, err
+		}
+		full, err := core.BurstLink(e.p, s)
+		if err != nil {
+			return t, err
+		}
+		bb := e.m.BreakdownOf(base, load)
+		fb := e.m.BreakdownOf(full, load)
+		total := float64(bb.Total())
+		t.Rows = append(t.Rows, []string{
+			res.Name(), "baseline",
+			pct(float64(bb.DRAM) / total), pct(float64(bb.Display) / total), pct(float64(bb.Others) / total), "",
+		})
+		t.Rows = append(t.Rows, []string{
+			"", "burstlink",
+			pct(float64(fb.DRAM) / total), pct(float64(fb.Display) / total), pct(float64(fb.Others) / total),
+			fmt.Sprintf("%.1fx", float64(bb.DRAM)/float64(fb.DRAM)),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: DRAM energy shrinks 3.8x (FHD) to 5.7x (5K)")
+	return t, nil
+}
+
+// Fig13 reproduces Fig 13: BurstLink vs frame-buffer compression at
+// 20/30/50% rates for 4K and 5K displays at 60 Hz.
+func Fig13() (Table, error) {
+	e := newEnv()
+	t := Table{
+		ID: "fig13", Title: "BurstLink vs frame-buffer compression (60 FPS, 60 Hz)",
+		Header: []string{"Resolution", "FBC 20%", "FBC 30%", "FBC 50%", "BurstLink"},
+	}
+	for _, res := range []units.Resolution{units.R4K, units.R5K} {
+		s := pipeline.Planar(res, 60, 60)
+		base, err := pipeline.Conventional(e.p, s)
+		if err != nil {
+			return t, err
+		}
+		ref := e.avg(base, s)
+		row := []string{res.Name()}
+		for _, rate := range []float64{0.2, 0.3, 0.5} {
+			tl, err := baseline.FBC(e.p, s, baseline.DefaultFBC(rate))
+			if err != nil {
+				return t, err
+			}
+			row = append(row, pct(1-e.avg(tl, s)/ref))
+		}
+		full, err := core.BurstLink(e.p, s)
+		if err != nil {
+			return t, err
+		}
+		row = append(row, pct(1-e.avg(full, s)/ref))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "paper: FBC@50% saves ~9% at 4K; BurstLink saves ~40.6%")
+	return t, nil
+}

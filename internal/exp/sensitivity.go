@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"fmt"
+
+	"burstlink/internal/core"
+	"burstlink/internal/pipeline"
+	"burstlink/internal/power"
+	"burstlink/internal/soc"
+	"burstlink/internal/units"
+)
+
+// Sensitivity sweeps the power model's calibration parameters ±20% and
+// reports how the headline FHD-30FPS reduction moves — the robustness
+// check behind trusting the shape results even though the absolute
+// component powers are fitted, not measured.
+func Sensitivity() (Table, error) {
+	s := pipeline.Planar(units.FHD, 60, 30)
+	p := pipeline.DefaultPlatform()
+
+	reduction := func(m power.Model) (float64, error) {
+		load := power.LoadOf(p, s)
+		base, err := pipeline.Conventional(p, s)
+		if err != nil {
+			return 0, err
+		}
+		full, err := core.BurstLink(p, s)
+		if err != nil {
+			return 0, err
+		}
+		return 1 - float64(m.Evaluate(full, load).Average)/float64(m.Evaluate(base, load).Average), nil
+	}
+
+	nominal, err := reduction(power.Default())
+	if err != nil {
+		return Table{}, err
+	}
+
+	// Each perturbation builds a fresh model and scales one parameter.
+	perturbations := []struct {
+		name  string
+		apply func(*power.Model, float64)
+	}{
+		{"BurstExtra", func(m *power.Model, k float64) { m.BurstExtra = units.Power(float64(m.BurstExtra) * k) }},
+		{"GPUExtra", func(m *power.Model, k float64) { m.GPUExtra = units.Power(float64(m.GPUExtra) * k) }},
+		{"TransitPower", func(m *power.Model, k float64) { m.TransitPower = units.Power(float64(m.TransitPower) * k) }},
+		{"DVFSExp", func(m *power.Model, k float64) { m.DVFSExp *= k }},
+		{"PanelExp", func(m *power.Model, k float64) { m.PanelExp *= k }},
+		{"Panel power", func(m *power.Model, k float64) { scaleRow(m, soc.Panel, k) }},
+		{"Uncore power", func(m *power.Model, k float64) { scaleRow(m, soc.Uncore, k) }},
+		{"DRAM background", func(m *power.Model, k float64) { scaleRow(m, soc.DRAMDev, k) }},
+		{"DRAM op coefficients", func(m *power.Model, k float64) {
+			m.DRAM = pipeline.DefaultDRAM()
+			m.DRAM.ReadPowerPerGBps = units.Power(float64(m.DRAM.ReadPowerPerGBps) * k)
+			m.DRAM.WritePowerPerGBps = units.Power(float64(m.DRAM.WritePowerPerGBps) * k)
+		}},
+	}
+
+	t := Table{
+		ID: "sens", Title: fmt.Sprintf("Parameter sensitivity of the FHD30 reduction (nominal %.1f%%)", nominal*100),
+		Header: []string{"Parameter", "-20%", "+20%", "Swing"},
+	}
+	for _, pert := range perturbations {
+		lo := power.Default()
+		pert.apply(&lo, 0.8)
+		hi := power.Default()
+		pert.apply(&hi, 1.2)
+		rl, err := reduction(lo)
+		if err != nil {
+			return t, err
+		}
+		rh, err := reduction(hi)
+		if err != nil {
+			return t, err
+		}
+		swing := rh - rl
+		if swing < 0 {
+			swing = -swing
+		}
+		t.Rows = append(t.Rows, []string{pert.name, pct(rl), pct(rh), fmt.Sprintf("%.1f pp", swing*100)})
+	}
+	t.Notes = append(t.Notes, "every perturbed variant must keep BurstLink strictly ahead of the baseline")
+	return t, nil
+}
+
+// scaleRow multiplies one component's power in every state. The Comp map
+// is shared between Model values returned by Default(), so the row is
+// deep-copied first.
+func scaleRow(m *power.Model, c soc.Component, k float64) {
+	comp := make(map[soc.Component]map[soc.PackageCState]units.Power, len(m.Comp))
+	for cc, states := range m.Comp {
+		comp[cc] = states
+	}
+	row := make(map[soc.PackageCState]units.Power, len(m.Comp[c]))
+	for st, v := range m.Comp[c] {
+		row[st] = units.Power(float64(v) * k)
+	}
+	comp[c] = row
+	m.Comp = comp
+}

@@ -1,0 +1,45 @@
+package exp
+
+import "testing"
+
+func TestSensitivityRuns(t *testing.T) {
+	tab, err := Sensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		lo := parsePct(t, row[1])
+		hi := parsePct(t, row[2])
+		// The headline conclusion survives every ±20% perturbation:
+		// BurstLink stays well ahead of the baseline.
+		if lo < 0.25 || hi < 0.25 {
+			t.Errorf("%s: reduction fell to %.1f%%/%.1f%% — conclusion not robust", row[0], lo*100, hi*100)
+		}
+		if lo > 0.60 || hi > 0.60 {
+			t.Errorf("%s: reduction ballooned to %.1f%%/%.1f%%", row[0], lo*100, hi*100)
+		}
+	}
+}
+
+func TestSensitivityDoesNotMutateDefaults(t *testing.T) {
+	// Running the sweep must not corrupt the shared Default() tables.
+	before, err := Validation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sensitivity(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Validation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before.Rows {
+		if before.Rows[i][1] != after.Rows[i][1] {
+			t.Fatalf("model drifted: %v -> %v", before.Rows[i], after.Rows[i])
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package exp
+
+import "testing"
+
+func TestTileComposeStacks(t *testing.T) {
+	tab, err := TileCompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		bl := parsePct(t, row[2])
+		tiles := parsePct(t, row[3])
+		both := parsePct(t, row[4])
+		// The combination dominates either technique alone.
+		if both <= bl || both <= tiles {
+			t.Errorf("%s: combined %.1f%% should beat BurstLink %.1f%% and tiles %.1f%%",
+				row[0], both*100, bl*100, tiles*100)
+		}
+		// The techniques are complementary, not additive: the combined
+		// saving is below the naive sum.
+		if both >= bl+tiles {
+			t.Errorf("%s: combined %.1f%% should be below the naive sum %.1f%%",
+				row[0], both*100, (bl+tiles)*100)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package interconnect
+
+import (
+	"fmt"
+	"time"
+
+	"burstlink/internal/units"
+)
+
+// Flow is one IP's traffic stream through the fabric.
+type Flow struct {
+	Name string
+	// Weight sets the share under contention (IOSF-class fabrics use
+	// per-agent arbitration weights).
+	Weight int
+}
+
+// Arbiter shares the fabric between concurrent flows with weighted fair
+// bandwidth allocation: while n flows are active, each receives
+// weight_i / Σ weights of the fabric's sustained bandwidth. The paper's
+// video-display scenario keeps a single flow active (which is why the
+// analytic model ignores contention), but the capture and windowed paths
+// can overlap flows, and the arbiter quantifies the slowdown.
+type Arbiter struct {
+	fabric *Fabric
+	active map[string]int
+}
+
+// NewArbiter wraps a fabric.
+func NewArbiter(f *Fabric) *Arbiter {
+	return &Arbiter{fabric: f, active: make(map[string]int)}
+}
+
+// Begin registers a flow as active. Re-registering an active flow is an
+// error (flows are single-stream per IP).
+func (a *Arbiter) Begin(f Flow) error {
+	if f.Weight <= 0 {
+		return fmt.Errorf("interconnect: flow %q with non-positive weight", f.Name)
+	}
+	if _, ok := a.active[f.Name]; ok {
+		return fmt.Errorf("interconnect: flow %q already active", f.Name)
+	}
+	a.active[f.Name] = f.Weight
+	return nil
+}
+
+// End deregisters a flow.
+func (a *Arbiter) End(name string) error {
+	if _, ok := a.active[name]; !ok {
+		return fmt.Errorf("interconnect: flow %q not active", name)
+	}
+	delete(a.active, name)
+	return nil
+}
+
+// ActiveFlows returns the number of concurrently active flows.
+func (a *Arbiter) ActiveFlows() int { return len(a.active) }
+
+// EffectiveBandwidth returns the bandwidth currently granted to the
+// named flow.
+func (a *Arbiter) EffectiveBandwidth(name string) (units.DataRate, error) {
+	w, ok := a.active[name]
+	if !ok {
+		return 0, fmt.Errorf("interconnect: flow %q not active", name)
+	}
+	total := 0
+	for _, weight := range a.active {
+		total += weight
+	}
+	return units.DataRate(float64(a.fabric.Bandwidth()) * float64(w) / float64(total)), nil
+}
+
+// TransferTime returns the time for the named flow to move n bytes at its
+// current share, accounting the traffic on the fabric.
+func (a *Arbiter) TransferTime(name string, n units.ByteSize) (time.Duration, error) {
+	bw, err := a.EffectiveBandwidth(name)
+	if err != nil {
+		return 0, err
+	}
+	a.fabric.carry(n)
+	return bw.TimeFor(n), nil
+}

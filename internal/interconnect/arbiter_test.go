@@ -1,0 +1,93 @@
+package interconnect
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"burstlink/internal/units"
+)
+
+func TestArbiterSingleFlowFullBandwidth(t *testing.T) {
+	a := NewArbiter(NewFabric(units.GBps(10)))
+	if err := a.Begin(Flow{Name: "vd", Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	bw, err := a.EffectiveBandwidth("vd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw != units.GBps(10) {
+		t.Fatalf("single flow bw = %v, want full fabric", bw)
+	}
+}
+
+func TestArbiterEqualSharing(t *testing.T) {
+	a := NewArbiter(NewFabric(units.GBps(10)))
+	a.Begin(Flow{Name: "vd", Weight: 1})
+	a.Begin(Flow{Name: "isp", Weight: 1})
+	bw, _ := a.EffectiveBandwidth("vd")
+	if math.Abs(float64(bw-units.GBps(5))) > 1 {
+		t.Fatalf("contended bw = %v, want half", bw)
+	}
+	// Ending the second flow restores full bandwidth.
+	if err := a.End("isp"); err != nil {
+		t.Fatal(err)
+	}
+	bw, _ = a.EffectiveBandwidth("vd")
+	if bw != units.GBps(10) {
+		t.Fatalf("bw after contention = %v", bw)
+	}
+}
+
+func TestArbiterWeights(t *testing.T) {
+	a := NewArbiter(NewFabric(units.GBps(12)))
+	a.Begin(Flow{Name: "display", Weight: 3}) // display traffic is latency-critical
+	a.Begin(Flow{Name: "camera", Weight: 1})
+	d, _ := a.EffectiveBandwidth("display")
+	c, _ := a.EffectiveBandwidth("camera")
+	if math.Abs(float64(d-units.GBps(9))) > 1 || math.Abs(float64(c-units.GBps(3))) > 1 {
+		t.Fatalf("weighted shares = %v / %v, want 9 / 3 GB/s", d, c)
+	}
+}
+
+func TestArbiterTransferTime(t *testing.T) {
+	f := NewFabric(units.GBps(10))
+	a := NewArbiter(f)
+	a.Begin(Flow{Name: "vd", Weight: 1})
+	a.Begin(Flow{Name: "isp", Weight: 1})
+	// 50 MB at a 5 GB/s share = 10 ms.
+	d, err := a.TransferTime("vd", 50*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 9900*time.Microsecond || d > 10100*time.Microsecond {
+		t.Fatalf("transfer = %v, want ~10ms", d)
+	}
+	if f.Moved() != 50*units.MB {
+		t.Fatal("fabric accounting missing")
+	}
+}
+
+func TestArbiterLifecycleErrors(t *testing.T) {
+	a := NewArbiter(DefaultFabric())
+	if err := a.Begin(Flow{Name: "x", Weight: 0}); err == nil {
+		t.Fatal("zero weight should fail")
+	}
+	a.Begin(Flow{Name: "x", Weight: 1})
+	if err := a.Begin(Flow{Name: "x", Weight: 1}); err == nil {
+		t.Fatal("double begin should fail")
+	}
+	if err := a.End("y"); err == nil {
+		t.Fatal("ending unknown flow should fail")
+	}
+	if _, err := a.EffectiveBandwidth("y"); err == nil {
+		t.Fatal("bandwidth of unknown flow should fail")
+	}
+	if _, err := a.TransferTime("y", units.KB); err == nil {
+		t.Fatal("transfer of unknown flow should fail")
+	}
+	if a.ActiveFlows() != 1 {
+		t.Fatalf("active = %d", a.ActiveFlows())
+	}
+}

@@ -1,0 +1,103 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"burstlink/internal/soc"
+	"burstlink/internal/trace"
+	"burstlink/internal/units"
+)
+
+// ErrUnderrun reports that a scenario cannot meet its frame deadline on
+// the given platform (decode + fetch exceed the frame window).
+type ErrUnderrun struct {
+	Scenario Scenario
+	Need     time.Duration
+	Have     time.Duration
+}
+
+// Error implements error.
+func (e ErrUnderrun) Error() string {
+	return fmt.Sprintf("pipeline: %v@%dHz %dFPS underruns: needs %v of %v window",
+		e.Scenario.Res, e.Scenario.Refresh, e.Scenario.FPS, e.Need, e.Have)
+}
+
+// Conventional computes the steady-state package C-state timeline of one
+// video frame period under the conventional display scheme with PSR as the
+// paper's baseline uses it (§2.5, Fig 3):
+//
+//   - The update window starts in C0 with driver orchestration and frame
+//     decode (the VD writes the decoded frame to the DRAM frame buffer;
+//     VR scenarios add the GPU projection pass, §2.4).
+//   - The DC then streams the frame to the panel at pixel rate,
+//     alternating C2 (refill the DC buffer from DRAM, chunk granularity)
+//     with C8 (buffer draining, DRAM in self-refresh).
+//   - Remaining windows of a low-FPS video are PSR windows: the panel
+//     self-refreshes from its RFB while the host idles in C8 (C9 when
+//     Platform.PSRDeep models the idealized behaviour).
+func Conventional(p Platform, s Scenario) (trace.Timeline, error) {
+	if err := s.Validate(); err != nil {
+		return trace.Timeline{}, err
+	}
+	window := s.Refresh.Window()
+
+	// Phase 1: orchestration + decode (+ VR projection) in C0.
+	decRes := s.Res
+	if s.VR {
+		decRes = s.VRSource
+	}
+	tC0 := p.OrchTime + p.DecodeTime(decRes, s.FPS)
+	tProj := time.Duration(0)
+	if s.VR {
+		tProj = p.ProjectTime(s.Res, s.FPS, s.MotionFactor)
+	}
+
+	// Phase 2 timing: DC fetch/send alternation.
+	tFetch := p.FetchTime(s.Res, s.BPP, s.FPS)
+	slack := window - tC0 - tProj - tFetch
+	if slack < 0 {
+		return trace.Timeline{}, ErrUnderrun{Scenario: s, Need: tC0 + tProj + tFetch, Have: window}
+	}
+
+	var tl trace.Timeline
+	tl.Add(trace.Phase{
+		State: soc.C0, Duration: tC0,
+		DRAMRead:  p.EncodedFrameSize(decRes),
+		DRAMWrite: decRes.FrameSize(s.BPP),
+		Label:     "orch+decode",
+	})
+	if s.VR {
+		// The GPU reads the decoded equirect frame and writes the
+		// projected frame back to the DRAM frame buffer (ⓐ/ⓑ in Fig 2).
+		tl.Add(trace.Phase{
+			State: soc.C0, Duration: tProj, GPUActive: true,
+			DRAMRead:  decRes.FrameSize(s.BPP),
+			DRAMWrite: s.FrameSize(),
+			Label:     "projection",
+		})
+	}
+
+	frame := s.FrameSize()
+	nChunks := int((frame + p.DCBufSize - 1) / p.DCBufSize)
+	if nChunks < 1 {
+		nChunks = 1
+	}
+	chunkFetch := tFetch / time.Duration(nChunks)
+	chunkDrain := slack / time.Duration(nChunks)
+	chunkBytes := frame / units.ByteSize(nChunks)
+	for i := 0; i < nChunks; i++ {
+		tl.Add(trace.Phase{State: soc.C2, Duration: chunkFetch, DRAMRead: chunkBytes, Label: "dc fetch"})
+		tl.Add(trace.Phase{State: soc.C8, Duration: chunkDrain, Label: "dc drain"})
+	}
+
+	// Phase 3: PSR windows for the remaining refreshes of this frame.
+	psrState := soc.C8
+	if p.PSRDeep {
+		psrState = soc.C9
+	}
+	for w := 1; w < s.WindowsPerFrame(); w++ {
+		tl.Add(trace.Phase{State: psrState, Duration: window, Label: "psr"})
+	}
+	return tl, nil
+}

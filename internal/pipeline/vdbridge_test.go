@@ -1,0 +1,33 @@
+package pipeline
+
+import (
+	"testing"
+
+	"burstlink/internal/units"
+	"burstlink/internal/vd"
+)
+
+func TestWithVDStaysCalibrated(t *testing.T) {
+	// Deriving the platform from the microarchitectural decoder model
+	// must keep the Table 2 anchors: the resulting baseline still hits
+	// the 9/11/80 residency split within tolerance.
+	p := DefaultPlatform().WithVD(vd.Default())
+	s := Planar(units.FHD, 60, 30)
+	tl, err := Conventional(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tl.Residency()
+	if res[0] < 0.08 || res[0] > 0.10 { // soc.C0
+		t.Fatalf("C0 residency with vd-derived platform = %.3f", res[0])
+	}
+}
+
+func TestWithVDOverridesRates(t *testing.T) {
+	c := vd.Default()
+	c.ClockHz *= 2
+	p := DefaultPlatform().WithVD(c)
+	if p.VDPixelRate <= DefaultPlatform().VDPixelRate {
+		t.Fatal("doubled clock should raise the platform decode rate")
+	}
+}

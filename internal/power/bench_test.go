@@ -1,0 +1,39 @@
+package power
+
+import (
+	"testing"
+
+	"burstlink/internal/core"
+	"burstlink/internal/pipeline"
+	"burstlink/internal/units"
+)
+
+func BenchmarkEvaluate(b *testing.B) {
+	p := pipeline.DefaultPlatform()
+	m := Default()
+	s := pipeline.Planar(units.R4K, 60, 30)
+	tl, err := pipeline.Conventional(p, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	load := LoadOf(p, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Evaluate(tl, load)
+	}
+}
+
+func BenchmarkSchedulerPlusEvaluate(b *testing.B) {
+	p := pipeline.DefaultPlatform()
+	m := Default()
+	s := pipeline.Planar(units.R4K, 60, 60)
+	load := LoadOf(p, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl, err := core.BurstLink(p, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Evaluate(tl, load)
+	}
+}

@@ -1,0 +1,32 @@
+package power
+
+import (
+	"time"
+
+	"burstlink/internal/soc"
+	"burstlink/internal/units"
+)
+
+// BreakEven returns the minimum residency in the deeper state for which
+// entering it from the shallower state saves energy, given the deeper
+// state's entry+exit cost — the classic PM-governor quantity. The PMU
+// only demotes to a deep state when the expected idle period exceeds this
+// (which is why the measured baseline of Table 2 parks in C8 rather than
+// C9 between chunk fetches: the C9 break-even exceeds a chunk gap).
+func (m Model) BreakEven(shallow, deep soc.PackageCState) time.Duration {
+	ps, pd := m.StatePower(shallow), m.StatePower(deep)
+	if pd >= ps {
+		return time.Duration(1<<63 - 1) // never pays off
+	}
+	lat := m.Latencies[deep]
+	cost := units.EnergyOver(m.TransitPower, lat.Enter+lat.Exit)
+	saving := ps - pd // mW
+	sec := float64(cost) / float64(saving)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// WorthEntering reports whether an idle period of length d justifies
+// entering deep from shallow.
+func (m Model) WorthEntering(shallow, deep soc.PackageCState, d time.Duration) bool {
+	return d > m.BreakEven(shallow, deep)
+}

@@ -1,0 +1,80 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"burstlink/internal/core"
+	"burstlink/internal/pipeline"
+	"burstlink/internal/soc"
+	"burstlink/internal/trace"
+	"burstlink/internal/units"
+)
+
+// TestComponentEnergyConservation: the bottom-up per-component attribution
+// must sum to the top-down Evaluate energy, for every scheme and for both
+// planar and VR scenarios.
+func TestComponentEnergyConservation(t *testing.T) {
+	p := pipeline.DefaultPlatform()
+	m := Default()
+	scenarios := []pipeline.Scenario{
+		pipeline.Planar(units.FHD, 60, 30),
+		pipeline.Planar(units.R4K, 60, 60),
+		{Res: units.Resolution{Width: 2160, Height: 1200}, Refresh: 60, FPS: 60, BPP: 24,
+			VR: true, VRSource: units.R4K, MotionFactor: 1.4},
+	}
+	sum := func(mp map[soc.Component]units.Energy) float64 {
+		var total float64
+		for _, e := range mp {
+			total += float64(e)
+		}
+		return total
+	}
+	for _, s := range scenarios {
+		load := LoadOf(p, s)
+		base, err := pipeline.Conventional(p, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := core.BurstLink(p, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, tl := range map[string]trace.Timeline{"baseline": base, "burstlink": full} {
+			got := sum(m.ComponentEnergy(tl, load))
+			want := float64(m.Evaluate(tl, load).Energy)
+			if math.Abs(got-want)/want > 1e-6 {
+				t.Errorf("%s %v: component sum %.4f != evaluate %.4f", name, s.Res, got, want)
+			}
+		}
+	}
+}
+
+func TestComponentEnergyHighlights(t *testing.T) {
+	p := pipeline.DefaultPlatform()
+	m := Default()
+	s := pipeline.Planar(units.FHD, 60, 30)
+	load := LoadOf(p, s)
+	base, _ := pipeline.Conventional(p, s)
+	full, _ := core.BurstLink(p, s)
+	cb := m.ComponentEnergy(base, load)
+	cf := m.ComponentEnergy(full, load)
+
+	// The panel dominates both schemes (it must keep glowing).
+	if cb[soc.Panel] <= cb[soc.Cores] || cf[soc.Panel] <= cf[soc.Uncore] {
+		t.Fatal("panel should dominate component energy")
+	}
+	// BurstLink's biggest cut is the uncore (no more C0/C2 camping).
+	if cf[soc.Uncore] >= cb[soc.Uncore]/3 {
+		t.Fatalf("uncore energy %v not well below baseline %v", cf[soc.Uncore], cb[soc.Uncore])
+	}
+	// DRAM energy collapses too.
+	if cf[soc.DRAMDev] >= cb[soc.DRAMDev]/2 {
+		t.Fatalf("DRAM energy %v not well below baseline %v", cf[soc.DRAMDev], cb[soc.DRAMDev])
+	}
+	// Panel energy is essentially unchanged (same pixels lit).
+	ratio := float64(cf[soc.Panel]) / float64(cb[soc.Panel])
+	if ratio < 0.95 || ratio > 1.1 {
+		t.Fatalf("panel ratio = %.3f, want ~1", ratio)
+	}
+}

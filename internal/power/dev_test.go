@@ -1,0 +1,54 @@
+package power
+
+import (
+	"testing"
+
+	"burstlink/internal/core"
+	"burstlink/internal/pipeline"
+	"burstlink/internal/trace"
+	"burstlink/internal/units"
+)
+
+// TestDevPrint prints the headline numbers for calibration work; the
+// assertions live in calibration_test.go.
+func TestDevPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dev aid")
+	}
+	p := pipeline.DefaultPlatform()
+	m := Default()
+	for _, fps := range []units.FPS{30, 60} {
+		for _, res := range []units.Resolution{units.FHD, units.QHD, units.R4K, units.R5K} {
+			s := pipeline.Planar(res, 60, fps)
+			load := LoadOf(p, s)
+			base, err := pipeline.Conventional(p, s)
+			if err != nil {
+				t.Logf("%v@%d base: %v", res, fps, err)
+				continue
+			}
+			rb := m.Evaluate(base, load)
+			red := func(tl trace.Timeline, err error) float64 {
+				if err != nil {
+					t.Logf("  %v@%d: %v", res, fps, err)
+					return -1
+				}
+				return 100 * (1 - float64(m.Evaluate(tl, load).Average)/float64(rb.Average))
+			}
+			t.Logf("%s@%dfps base=%.0fmW burst=%.1f%% bypass=%.1f%% full=%.1f%%",
+				res.Name(), fps, float64(rb.Average),
+				red(core.BurstOnly(p, s)), red(core.BypassOnly(p, s)), red(core.BurstLink(p, s)))
+			if fps == 30 {
+				bd := m.BreakdownOf(base, load)
+				t.Logf("   breakdown: DRAM %.0f%% Display %.0f%% Others %.0f%%",
+					100*float64(bd.DRAM)/float64(bd.Total()),
+					100*float64(bd.Display)/float64(bd.Total()),
+					100*float64(bd.Others)/float64(bd.Total()))
+			}
+			if res == units.FHD && fps == 30 {
+				full, _ := core.BurstLink(p, s)
+				t.Logf("   FHD30 base residency: %v", base.String())
+				t.Logf("   FHD30 full residency: %v  avg=%.0f", full.String(), float64(m.Evaluate(full, load).Average))
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package power
+
+import (
+	"testing"
+	"time"
+
+	"burstlink/internal/soc"
+)
+
+// TestGovernorDemotionLadder wires the break-even rule into the governed
+// firmware: the deeper the state, the longer the idle period needed to
+// justify its entry/exit cost, so as the expected idle shrinks the
+// governor walks down the ladder C9 → C8 → C7' → C0. (The baseline's
+// mid-stream C8 camping itself is hardware-conditioned — the DC stays on —
+// which soc.Resolve already enforces; the governor covers the PMU's
+// residual freedom.)
+func TestGovernorDemotionLadder(t *testing.T) {
+	m := Default()
+	idle := time.Duration(0)
+	fw := soc.GovernedFirmware{
+		ExpectedIdle: func() time.Duration { return idle },
+		BreakEven: func(s soc.PackageCState) time.Duration {
+			// Break-even vs. the shallow-idle alternative (C2).
+			return m.BreakEven(soc.C2, s)
+		},
+	}
+
+	be9 := m.BreakEven(soc.C2, soc.C9)
+	be8 := m.BreakEven(soc.C2, soc.C8)
+	be7p := m.BreakEven(soc.C2, soc.C7Prime)
+	if !(be9 > be8 && be8 > be7p && be7p > 0) {
+		t.Fatalf("break-even ladder broken: C9 %v, C8 %v, C7' %v", be9, be8, be7p)
+	}
+
+	// Long idle: the deepest permitted state.
+	idle = time.Millisecond
+	if got := fw.Clamp(soc.C9); got != soc.C9 {
+		t.Fatalf("long idle clamp = %v, want C9", got)
+	}
+	// Idle between the C8 and C9 break-evens: C8.
+	idle = (be8 + be9) / 2
+	if got := fw.Clamp(soc.C9); got != soc.C8 {
+		t.Fatalf("mid idle clamp = %v, want C8 (be8 %v, be9 %v)", got, be8, be9)
+	}
+	// Idle between C7' and C8 break-evens: C7'.
+	idle = (be7p + be8) / 2
+	if got := fw.Clamp(soc.C9); got != soc.C7Prime {
+		t.Fatalf("short idle clamp = %v, want C7'", got)
+	}
+	// Sub-break-even idle: stay awake.
+	idle = be7p / 8
+	if got := fw.Clamp(soc.C9); got != soc.C0 {
+		t.Fatalf("tiny idle clamp = %v, want C0", got)
+	}
+	// Never promotes beyond the hardware-resolved state.
+	idle = time.Second
+	if got := fw.Clamp(soc.C2); got > soc.C2 {
+		t.Fatalf("clamp exceeded resolved state: %v", got)
+	}
+}
+
+func TestGovernorPassthroughWithoutCallbacks(t *testing.T) {
+	fw := soc.GovernedFirmware{}
+	if fw.Clamp(soc.C9) != soc.C9 {
+		t.Fatal("unset governor should pass through")
+	}
+	if fw.Name() == "" {
+		t.Fatal("governor needs a name")
+	}
+}

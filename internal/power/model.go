@@ -1,0 +1,124 @@
+// Package power implements the paper's analytical power model (§5.2):
+//
+//	Power_avg = Σ_i  P_Ci·R_Ci  +  P_en_Ci·Lat_en_Ci  +  P_ex_Ci·Lat_ex_Ci
+//
+// P_Ci is composed from a component-level power table (so the model can
+// also report the DRAM / Display / Others breakdown of Figs 1 and 10),
+// plus DRAM operating power proportional to the read/write bandwidth of
+// each phase, plus the extra link power of Frame-Bursting phases and the
+// extra GPU power of VR projection phases. Active-state component power
+// scales with the workload's DVFS demand factor, capturing §5.2's
+// "changes in each SoC component's operating frequency".
+//
+// The table is calibrated so the composed per-state powers and the
+// baseline/BurstLink averages reproduce the paper's measured Table 2
+// (validated in calibration_test.go), which is exactly how the paper
+// anchors its own model to the Keysight measurements.
+package power
+
+import (
+	"burstlink/internal/dram"
+	"burstlink/internal/pipeline"
+	"burstlink/internal/soc"
+	"burstlink/internal/units"
+)
+
+// Model is a calibrated platform power model.
+type Model struct {
+	// Comp is the per-component power at each package C-state, excluding
+	// DRAM operating power (which depends on traffic, not state).
+	Comp map[soc.Component]map[soc.PackageCState]units.Power
+	// DRAM supplies the bandwidth-proportional operating-power
+	// coefficients (§5.2's "operating power").
+	DRAM dram.Config
+	// BurstExtra is the added link power (host transmitter + panel
+	// receiver + DRFB write path) while the eDP runs at maximum
+	// bandwidth (Table 2: BurstLink state powers sit ~145 mW above
+	// baseline).
+	BurstExtra units.Power
+	// GPUExtra is the graphics engine's active power during VR
+	// projection phases.
+	GPUExtra units.Power
+	// DVFSExp scales active-component power with the workload demand
+	// factor: P_active ∝ demand^DVFSExp.
+	DVFSExp float64
+	// PanelExp scales panel power with display pixel count relative to
+	// FHD: P_panel ∝ (pixels/pixels_FHD)^PanelExp. Driving more pixels
+	// costs more backlight/driver power, which is why Fig 1's Display
+	// bars grow with resolution.
+	PanelExp float64
+	// TransitPower is the effective extra power drawn during state
+	// entry/exit latency windows (the P_en/P_ex terms).
+	TransitPower units.Power
+	// Latencies are the per-state entry/exit latencies.
+	Latencies map[soc.PackageCState]soc.Latency
+}
+
+// activeComponents are the silicon blocks whose power scales with DVFS
+// while running (package states C0..C7'). The uncore is excluded: it runs
+// at a fixed ring frequency regardless of workload demand.
+var activeComponents = []soc.Component{
+	soc.Cores, soc.Graphics, soc.VideoDec, soc.DispCtl,
+	soc.EDPHost, soc.MemCtl,
+}
+
+// Default returns the calibrated model for the Table 3 baseline system.
+// Column sums (plus per-phase DRAM operating power at the measured
+// bandwidths) reproduce Table 2's baseline column:
+//
+//	C0 = 4766 + ~1174 op ≈ 5940    C2 = 4677 + ~768 op ≈ 5445
+//	C7 = 1385    C8 = 1285    C9 = 1090
+//
+// The Uncore row is the calibration residual (system agent, ring, rails);
+// it dominates C0/C2 exactly as the fully-clocked uncore does on real
+// Skylake parts.
+func Default() Model {
+	row := func(c0, c2, c3, c6, c7, c7p, c8, c9, c10 units.Power) map[soc.PackageCState]units.Power {
+		return map[soc.PackageCState]units.Power{
+			soc.C0: c0, soc.C2: c2, soc.C3: c3, soc.C6: c6, soc.C7: c7,
+			soc.C7Prime: c7p, soc.C8: c8, soc.C9: c9, soc.C10: c10,
+		}
+	}
+	return Model{
+		Comp: map[soc.Component]map[soc.PackageCState]units.Power{
+			soc.Cores:    row(450, 120, 60, 25, 10, 10, 10, 0, 0),
+			soc.Graphics: row(70, 20, 10, 5, 5, 5, 0, 0, 0),
+			soc.VideoDec: row(450, 40, 20, 10, 85, 20, 0, 0, 0),
+			soc.DispCtl:  row(170, 170, 120, 100, 90, 90, 60, 0, 0),
+			soc.EDPHost:  row(160, 160, 120, 100, 80, 80, 70, 0, 0),
+			soc.MemCtl:   row(150, 150, 60, 30, 15, 15, 15, 0, 0),
+			soc.Uncore:   row(1970, 2430, 995, 405, 0, 130, 30, 5, 50),
+			soc.DRAMDev:  row(640, 640, 45, 45, 45, 45, 45, 45, 0),
+			soc.WiFi:     row(290, 290, 120, 40, 20, 20, 20, 15, 0),
+			soc.Storage:  row(55, 55, 20, 10, 5, 5, 5, 5, 0),
+			soc.Panel:    row(980, 980, 980, 980, 980, 980, 980, 970, 0),
+			soc.AlwaysOn: row(50, 50, 50, 50, 50, 50, 50, 50, 40),
+		},
+		DRAM:         pipeline.DefaultDRAM(),
+		BurstExtra:   145 * units.MilliWatt,
+		GPUExtra:     900 * units.MilliWatt,
+		DVFSExp:      0.2,
+		PanelExp:     0.25,
+		TransitPower: 150 * units.MilliWatt,
+		Latencies:    soc.Latencies(),
+	}
+}
+
+// StatePower returns the composed base power of a package C-state (no
+// DRAM operating power, no burst/GPU extras, demand factor 1).
+func (m Model) StatePower(st soc.PackageCState) units.Power {
+	var sum units.Power
+	for _, states := range m.Comp {
+		sum += states[st]
+	}
+	return sum
+}
+
+// dramConfig allows a zero-valued DRAM config to fall back to the
+// calibrated default.
+func (m Model) dramConfig() dram.Config {
+	if m.DRAM.ReadPowerPerGBps == 0 && m.DRAM.WritePowerPerGBps == 0 {
+		return pipeline.DefaultDRAM()
+	}
+	return m.DRAM
+}

@@ -1,0 +1,167 @@
+// Package session orchestrates a complete video streaming session end to
+// end: encoded frames arrive over a modeled network into the DRAM jitter
+// buffer (§2.4's buffering stage), the chosen display scheme plays them
+// back period by period, and the analytical power model prices the whole
+// run — producing the user-facing numbers (stalls, average power, energy,
+// battery life) a downstream adopter of this library would ask for.
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"burstlink/internal/core"
+	"burstlink/internal/pipeline"
+	"burstlink/internal/power"
+	"burstlink/internal/stream"
+	"burstlink/internal/trace"
+	"burstlink/internal/units"
+	"burstlink/internal/workload"
+)
+
+// Scheme selects the display datapath.
+type Scheme int
+
+// Display schemes.
+const (
+	Conventional Scheme = iota
+	BurstOnly
+	BypassOnly
+	BurstLink
+)
+
+var schemeNames = [...]string{"conventional", "burst-only", "bypass-only", "burstlink"}
+
+// String names the scheme.
+func (s Scheme) String() string {
+	if s < 0 || int(s) >= len(schemeNames) {
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+	return schemeNames[s]
+}
+
+// scheduler returns the per-period timeline generator.
+func (s Scheme) scheduler() func(pipeline.Platform, pipeline.Scenario) (trace.Timeline, error) {
+	switch s {
+	case BurstOnly:
+		return core.BurstOnly
+	case BypassOnly:
+		return core.BypassOnly
+	case BurstLink:
+		return core.BurstLink
+	default:
+		return pipeline.Conventional
+	}
+}
+
+// Config describes a session.
+type Config struct {
+	Scenario pipeline.Scenario
+	Scheme   Scheme
+	// Seconds of playback.
+	Seconds int
+	// Bitrate of the encoded stream; 0 derives it from the platform's
+	// encoded-frame model.
+	Bitrate units.DataRate
+	// Network is the bandwidth trace frames arrive over; nil means a
+	// steady link at 1.5x the bitrate.
+	Network stream.BandwidthTrace
+	// PrebufferFrames is the startup buffer depth (default: one second).
+	PrebufferFrames int
+	// Battery prices the session in battery life; zero value uses the
+	// evaluated tablet's battery.
+	Battery workload.Battery
+}
+
+// Result reports the session outcome.
+type Result struct {
+	Scheme   Scheme
+	Frames   int
+	Stalls   int
+	Buffer   stream.Stats
+	AvgPower units.Power
+	Energy   units.Energy
+	// BatteryLife is the runtime the battery would sustain at AvgPower.
+	BatteryLife time.Duration
+	// DRAMRead/DRAMWrite are per-second-of-playback traffic.
+	DRAMRead, DRAMWrite units.ByteSize
+}
+
+// Run plays the session.
+func Run(p pipeline.Platform, m power.Model, cfg Config) (Result, error) {
+	if err := cfg.Scenario.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Seconds <= 0 {
+		return Result{}, fmt.Errorf("session: non-positive duration")
+	}
+	s := cfg.Scenario
+	frames := cfg.Seconds * int(s.FPS)
+
+	// Stage 1: network delivery into the jitter buffer.
+	encFrame := p.EncodedFrameSize(s.Res)
+	if s.VR {
+		encFrame = p.EncodedFrameSize(s.VRSource)
+	}
+	bitrate := cfg.Bitrate
+	if bitrate <= 0 {
+		bitrate = units.DataRate(float64(encFrame.Bits()) * float64(s.FPS))
+	}
+	network := cfg.Network
+	if network == nil {
+		network = stream.ConstantBandwidth(units.DataRate(1.5 * float64(bitrate)))
+	}
+	prebuf := cfg.PrebufferFrames
+	if prebuf == 0 {
+		prebuf = int(s.FPS)
+	}
+	buf := stream.NewJitterBuffer(64 * units.MB)
+	netFrame := units.ByteSize(float64(bitrate) / 8 / float64(s.FPS))
+	bufStats, err := stream.SimulateStreaming(stream.NewSource(network), buf, netFrame, frames, s.FPS, prebuf)
+	if err != nil {
+		return Result{}, fmt.Errorf("session: network: %w", err)
+	}
+
+	// Stage 2: playback under the chosen scheme. Steady state is one
+	// period repeated; the power model prices it.
+	period, err := cfg.Scheme.scheduler()(p, s)
+	if err != nil {
+		return Result{}, fmt.Errorf("session: %v: %w", cfg.Scheme, err)
+	}
+	full := period.Repeat(frames)
+	load := power.LoadOf(p, s)
+	res := m.Evaluate(full, load)
+
+	bat := cfg.Battery
+	if bat.CapacityMilliWattHours == 0 {
+		bat = workload.SurfaceProBattery()
+	}
+	read, write := period.DRAMTraffic()
+	return Result{
+		Scheme:      cfg.Scheme,
+		Frames:      frames,
+		Stalls:      bufStats.Underruns,
+		Buffer:      bufStats,
+		AvgPower:    res.Average,
+		Energy:      res.Energy,
+		BatteryLife: bat.Life(res.Average),
+		DRAMRead:    read * units.ByteSize(int(s.FPS)),
+		DRAMWrite:   write * units.ByteSize(int(s.FPS)),
+	}, nil
+}
+
+// Compare runs the same session under every scheme and returns the
+// results in scheme order.
+func Compare(p pipeline.Platform, m power.Model, cfg Config) ([]Result, error) {
+	out := make([]Result, 0, 4)
+	for _, sch := range []Scheme{Conventional, BurstOnly, BypassOnly, BurstLink} {
+		c := cfg
+		c.Scheme = sch
+		r, err := Run(p, m, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

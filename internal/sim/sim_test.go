@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(30*time.Millisecond, "c", func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, "a", func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, "b", func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, "tie", func() { got = append(got, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-time events not FIFO: %v", got)
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	var e Engine
+	e.Schedule(-time.Millisecond, "bad", func() {})
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	ran := false
+	ev := e.Schedule(time.Millisecond, "x", func() { ran = true })
+	if !e.Cancel(ev) {
+		t.Fatal("first cancel should succeed")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("second cancel should be a no-op")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	var e Engine
+	if e.Cancel(nil) {
+		t.Fatal("cancelling nil should return false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var got []string
+	e.Schedule(5*time.Millisecond, "early", func() { got = append(got, "early") })
+	e.Schedule(50*time.Millisecond, "late", func() { got = append(got, "late") })
+	e.RunUntil(10 * time.Millisecond)
+	if len(got) != 1 || got[0] != "early" {
+		t.Fatalf("got %v, want only early event", got)
+	}
+	if e.Now() != 10*time.Millisecond {
+		t.Fatalf("clock = %v, want exactly the deadline", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(got) != 2 {
+		t.Fatalf("late event did not run: %v", got)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	var e Engine
+	e.RunUntil(time.Second)
+	if e.Now() != time.Second {
+		t.Fatalf("idle clock = %v, want 1s", e.Now())
+	}
+}
+
+func TestAtAbsoluteTime(t *testing.T) {
+	var e Engine
+	e.Schedule(10*time.Millisecond, "move clock", func() {})
+	e.Run()
+	fired := time.Duration(0)
+	e.At(25*time.Millisecond, "abs", func() { fired = e.Now() })
+	e.Run()
+	if fired != 25*time.Millisecond {
+		t.Fatalf("fired at %v, want 25ms", fired)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	var e Engine
+	depth := 0
+	var chain func()
+	chain = func() {
+		depth++
+		if depth < 5 {
+			e.Schedule(time.Millisecond, "chain", chain)
+		}
+	}
+	e.Schedule(time.Millisecond, "chain", chain)
+	e.Run()
+	if depth != 5 {
+		t.Fatalf("chain depth = %d, want 5", depth)
+	}
+	if e.Now() != 5*time.Millisecond {
+		t.Fatalf("clock = %v, want 5ms", e.Now())
+	}
+	if e.EventsRun() != 5 {
+		t.Fatalf("events run = %d, want 5", e.EventsRun())
+	}
+}
+
+func TestRandomizedOrdering(t *testing.T) {
+	// Property: for any schedule of random events, execution times are
+	// non-decreasing.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var e Engine
+		var times []time.Duration
+		n := rng.Intn(200) + 1
+		for i := 0; i < n; i++ {
+			e.Schedule(time.Duration(rng.Intn(1000))*time.Microsecond, "r", func() {
+				times = append(times, e.Now())
+			})
+		}
+		e.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				t.Fatalf("trial %d: time went backwards: %v after %v", trial, times[i], times[i-1])
+			}
+		}
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 100; j++ {
+			e.Schedule(time.Duration(j)*time.Microsecond, "b", func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,141 @@
+package soc
+
+import "fmt"
+
+// Component identifies an IP block or platform device whose activity
+// determines the package C-state and contributes to system power.
+type Component int
+
+// Platform components (§2.1 and Fig 8's power domains).
+const (
+	Cores    Component = iota // CPU cores + LLC (V_Core rail)
+	Graphics                  // GPU / graphics engine (V_GFX rail)
+	VideoDec                  // hardware video decoder (shares V_GFX)
+	DispCtl                   // display controller, in the system agent
+	EDPHost                   // eDP transmitter + display IO on the SoC
+	MemCtl                    // memory controller (V_SA rail)
+	Uncore                    // system agent, ring/LLC fabric, rails (V_SA/V_IO residual)
+	DRAMDev                   // external DRAM devices (VDD/VDDQ rails)
+	WiFi                      // network interface
+	Storage                   // eMMC
+	Panel                     // display panel incl. T-con, PF, backlight
+	AlwaysOn                  // always-on rail (RTC, wake logic)
+	numComponents
+)
+
+var componentNames = [...]string{
+	"Cores", "Graphics", "VideoDec", "DispCtl", "EDPHost",
+	"MemCtl", "Uncore", "DRAMDev", "WiFi", "Storage", "Panel", "AlwaysOn",
+}
+
+// String returns the component name.
+func (c Component) String() string {
+	if c < 0 || c >= numComponents {
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+	return componentNames[c]
+}
+
+// Components lists every platform component.
+func Components() []Component {
+	out := make([]Component, numComponents)
+	for i := range out {
+		out[i] = Component(i)
+	}
+	return out
+}
+
+// AllPowerGated returns a component set with every IP power-gated except
+// the always-on rail — the deepest starting point, from which simulations
+// wake exactly the components each phase needs.
+func AllPowerGated() ComponentSet {
+	cs := ComponentSet{}
+	for _, c := range Components() {
+		cs[c] = CompPowerGated
+	}
+	cs[AlwaysOn] = CompActive
+	return cs
+}
+
+// CompState is a component-level power state.
+type CompState int
+
+// Component power states, shallow to deep.
+const (
+	CompActive     CompState = iota // executing / transferring
+	CompIdle                        // powered but idle (clocks running)
+	CompClockGated                  // clocks stopped, state retained
+	CompPowerGated                  // power removed, state lost
+)
+
+var compStateNames = [...]string{"active", "idle", "clock-gated", "power-gated"}
+
+// String returns the state name.
+func (s CompState) String() string {
+	if s < 0 || int(s) >= len(compStateNames) {
+		return fmt.Sprintf("CompState(%d)", int(s))
+	}
+	return compStateNames[s]
+}
+
+// ComponentSet maps each component to its current power state. The zero
+// value of the map treats missing components as CompActive, the safe
+// (shallowest) assumption.
+type ComponentSet map[Component]CompState
+
+// Get returns the state of c, defaulting to CompActive.
+func (cs ComponentSet) Get(c Component) CompState {
+	if s, ok := cs[c]; ok {
+		return s
+	}
+	return CompActive
+}
+
+// Clone returns a copy of the set.
+func (cs ComponentSet) Clone() ComponentSet {
+	out := make(ComponentSet, len(cs))
+	for k, v := range cs {
+		out[k] = v
+	}
+	return out
+}
+
+// Resolve computes the deepest package C-state permitted by the component
+// states, following Table 1's entry conditions:
+//
+//	C0  — any core or the graphics engine executing
+//	C2  — cores idle and graphics in RC6, but DRAM consumers (VD, DC, MC)
+//	      actively accessing memory
+//	C7  — VD may run from its local buffers (frame-buffer bypass); DRAM in
+//	      self-refresh
+//	C7′ — like C7 with the VD clock-gated
+//	C8  — only the DC and display IO on
+//	C9  — every IP off; panel may self-refresh
+//	C10 — panel off too
+func Resolve(cs ComponentSet) PackageCState {
+	if cs.Get(Cores) == CompActive || cs.Get(Graphics) == CompActive {
+		return C0
+	}
+	// DRAM actively serving traffic keeps the package at C2.
+	if cs.Get(MemCtl) == CompActive || cs.Get(DRAMDev) == CompActive {
+		return C2
+	}
+	vd := cs.Get(VideoDec)
+	dc := cs.Get(DispCtl)
+	edp := cs.Get(EDPHost)
+	if vd == CompActive {
+		return C7 // bypass decode: VD runs against the DC buffer, DRAM in SR
+	}
+	// A VD that is still powered (idle or clock-gated) caps the package at
+	// C7' while the display path is streaming.
+	if (vd == CompIdle || vd == CompClockGated) && (dc == CompActive || edp == CompActive) {
+		return C7Prime
+	}
+	if dc == CompActive || dc == CompIdle || edp == CompActive || edp == CompIdle {
+		return C8
+	}
+	if cs.Get(Panel) != CompPowerGated {
+		return C9
+	}
+	return C10
+}

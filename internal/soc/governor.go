@@ -1,0 +1,42 @@
+package soc
+
+import "time"
+
+// GovernedFirmware is a PMU policy that demotes the package only when the
+// expected idle period justifies the target state's entry/exit cost — the
+// break-even rule real Pcode applies. It explains the measured behaviour
+// the paper's Table 2 captures: between DC chunk fetches the baseline
+// parks at C8 (sub-millisecond gaps never amortize a C9 entry), while
+// BurstLink's DRFB creates multi-millisecond idle periods that do.
+type GovernedFirmware struct {
+	// ExpectedIdle predicts how long the package will stay idle; the
+	// display pipeline knows this from its frame schedule.
+	ExpectedIdle func() time.Duration
+	// BreakEven returns the minimum residency that justifies entering
+	// the state (supplied by the power model to avoid an import cycle).
+	BreakEven func(s PackageCState) time.Duration
+}
+
+// Name implements Firmware.
+func (GovernedFirmware) Name() string { return "governed-pcode" }
+
+// Clamp implements Firmware: walk up from the resolved state until the
+// expected idle period covers the break-even time.
+func (f GovernedFirmware) Clamp(resolved PackageCState) PackageCState {
+	if f.ExpectedIdle == nil || f.BreakEven == nil {
+		return resolved
+	}
+	idle := f.ExpectedIdle()
+	order := All()
+	// Find the resolved state's position and demote as needed.
+	for i := len(order) - 1; i > 0; i-- {
+		s := order[i]
+		if s > resolved {
+			continue
+		}
+		if idle > f.BreakEven(s) {
+			return s
+		}
+	}
+	return C0
+}

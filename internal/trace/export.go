@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// chromeEvent is one entry of the Chrome trace-viewer (about://tracing /
+// Perfetto) JSON array format.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`  // microseconds
+	Dur   float64           `json:"dur"` // microseconds
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace renders the timeline as Chrome trace-viewer JSON: each
+// phase becomes a complete ("X") event on a single track, so a timeline
+// can be dropped into Perfetto/about://tracing and inspected visually —
+// the closest thing to the paper's Fig 3/6/7 plots this side of a GUI.
+func (t Timeline) ChromeTrace(track string) ([]byte, error) {
+	events := make([]chromeEvent, 0, len(t.Phases))
+	var at float64
+	for _, ph := range t.Phases {
+		dur := float64(ph.Duration.Microseconds())
+		args := map[string]string{"state": ph.State.String()}
+		if ph.Label != "" {
+			args["label"] = ph.Label
+		}
+		if ph.DRAMRead+ph.DRAMWrite > 0 {
+			args["dram"] = fmt.Sprintf("r=%v w=%v", ph.DRAMRead, ph.DRAMWrite)
+		}
+		if ph.EDPBurst {
+			args["edp"] = "burst"
+		}
+		name := ph.State.String()
+		if ph.Label != "" {
+			name += " " + ph.Label
+		}
+		events = append(events, chromeEvent{
+			Name: name, Cat: "cstate", Phase: "X",
+			TS: at, Dur: dur, PID: 1, TID: 1, Args: args,
+		})
+		at += dur
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+		Metadata    map[string]string
+	}{events, "ms", map[string]string{"track": track}}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"burstlink/internal/soc"
+	"burstlink/internal/units"
+)
+
+func TestChromeTraceExport(t *testing.T) {
+	var tl Timeline
+	tl.AddState(soc.C0, 3*time.Millisecond, "decode")
+	tl.Add(Phase{State: soc.C2, Duration: 4 * time.Millisecond, DRAMRead: units.MB, Label: "fetch"})
+	tl.Add(Phase{State: soc.C7, Duration: 2 * time.Millisecond, EDPBurst: true})
+	tl.AddState(soc.C9, 7*time.Millisecond, "idle")
+
+	b, err := tl.ChromeTrace("fhd30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.TraceEvents) != 4 {
+		t.Fatalf("events = %d", len(decoded.TraceEvents))
+	}
+	// Events tile the timeline with no gaps.
+	var at float64
+	for i, e := range decoded.TraceEvents {
+		if e.TS != at {
+			t.Fatalf("event %d at %v, want %v", i, e.TS, at)
+		}
+		at += e.Dur
+	}
+	if at != 16000 {
+		t.Fatalf("total = %vµs, want 16000", at)
+	}
+	if decoded.TraceEvents[1].Args["dram"] == "" {
+		t.Fatal("DRAM annotation missing")
+	}
+	if decoded.TraceEvents[2].Args["edp"] != "burst" {
+		t.Fatal("burst annotation missing")
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var tl Timeline
+	b, err := tl.ChromeTrace("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+}

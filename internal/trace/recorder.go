@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"time"
+
+	"burstlink/internal/sim"
+	"burstlink/internal/soc"
+	"burstlink/internal/units"
+)
+
+// Recorder converts live PMU transitions into a Timeline. It also accepts
+// DRAM traffic notifications so phases carry bandwidth information.
+//
+// Attach with:
+//
+//	rec := trace.NewRecorder(eng)
+//	pmu.Listen(rec.OnTransition)
+//	...
+//	tl := rec.Finish(pmu.State())
+type Recorder struct {
+	eng *sim.Engine
+
+	tl        Timeline
+	lastAt    time.Duration
+	lastState soc.PackageCState
+	started   bool
+
+	pendRead, pendWrite units.ByteSize
+	pendBurst           bool
+	pendLabel           string
+}
+
+// NewRecorder builds a recorder that timestamps against eng. Recording
+// starts at the engine's current time in state C0.
+func NewRecorder(eng *sim.Engine) *Recorder {
+	return &Recorder{eng: eng, lastAt: eng.Now(), lastState: soc.C0, started: true}
+}
+
+// OnTransition is the PMU listener entry point.
+func (r *Recorder) OnTransition(tr soc.Transition) {
+	r.closePhase(tr.At)
+	r.lastState = tr.To
+}
+
+// NoteDRAM accrues DRAM traffic to the current phase.
+func (r *Recorder) NoteDRAM(read, write units.ByteSize) {
+	r.pendRead += read
+	r.pendWrite += write
+}
+
+// NoteBurst marks the current phase as using the eDP link at maximum
+// bandwidth.
+func (r *Recorder) NoteBurst() { r.pendBurst = true }
+
+// NoteLabel annotates the current phase.
+func (r *Recorder) NoteLabel(label string) { r.pendLabel = label }
+
+func (r *Recorder) closePhase(at time.Duration) {
+	d := at - r.lastAt
+	if d > 0 {
+		r.tl.Add(Phase{
+			State:     r.lastState,
+			Duration:  d,
+			DRAMRead:  r.pendRead,
+			DRAMWrite: r.pendWrite,
+			EDPBurst:  r.pendBurst,
+			Label:     r.pendLabel,
+		})
+	}
+	r.lastAt = at
+	r.pendRead, r.pendWrite, r.pendBurst, r.pendLabel = 0, 0, false, ""
+}
+
+// Finish closes the open phase at the engine's current time and returns
+// the accumulated timeline. The recorder may continue recording afterwards.
+func (r *Recorder) Finish() Timeline {
+	r.closePhase(r.eng.Now())
+	return r.tl
+}

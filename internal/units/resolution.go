@@ -1,0 +1,84 @@
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resolution is a display or video resolution in pixels.
+type Resolution struct {
+	Width, Height int
+}
+
+// The display resolutions evaluated in the paper (§6.1) plus the per-eye
+// VR panel resolutions of Fig 11(b).
+var (
+	FHD = Resolution{1920, 1080} // full high definition
+	QHD = Resolution{2560, 1440} // quad high definition
+	R4K = Resolution{3840, 2160} // 4K UHD
+	R5K = Resolution{5120, 2880} // 5K
+
+	VR960  = Resolution{960, 1080}  // per-eye VR, Fig 11(b)
+	VR1080 = Resolution{1080, 1200} // HTC Vive / Oculus Rift class
+	VR1280 = Resolution{1280, 1440}
+	VR1440 = Resolution{1440, 1600} // Valve Index class
+)
+
+// Pixels returns the total pixel count.
+func (r Resolution) Pixels() int { return r.Width * r.Height }
+
+// FrameSize returns the size of one uncompressed frame at the given color
+// depth in bits per pixel. The paper uses 24 bpp (e.g. a 4K frame is
+// "24 MB", §1).
+func (r Resolution) FrameSize(bpp int) ByteSize {
+	return ByteSize(int64(r.Pixels()) * int64(bpp) / 8)
+}
+
+// String returns e.g. "3840x2160".
+func (r Resolution) String() string { return fmt.Sprintf("%dx%d", r.Width, r.Height) }
+
+// Name returns the marketing name for the well-known resolutions and the
+// WxH form otherwise.
+func (r Resolution) Name() string {
+	switch r {
+	case FHD:
+		return "FHD"
+	case QHD:
+		return "QHD"
+	case R4K:
+		return "4K"
+	case R5K:
+		return "5K"
+	}
+	return r.String()
+}
+
+// RefreshRate is a display refresh rate in Hz.
+type RefreshRate int
+
+// Window returns the frame-refresh window 1/rate (≈16.67 ms at 60 Hz),
+// which §2.3 calls the "frame window".
+func (h RefreshRate) Window() time.Duration {
+	if h <= 0 {
+		return 0
+	}
+	return time.Duration(float64(time.Second) / float64(h))
+}
+
+// PixelRate returns the raw pixel-stream bandwidth a panel of resolution r
+// at color depth bpp consumes at this refresh rate. This is the rate
+// conventional systems pace the eDP link at (§3, Observation 2).
+func (h RefreshRate) PixelRate(r Resolution, bpp int) DataRate {
+	return DataRate(float64(r.Pixels()) * float64(bpp) * float64(h))
+}
+
+// FPS is a video frame rate in frames per second.
+type FPS int
+
+// FrameInterval returns the time between consecutive video frames.
+func (f FPS) FrameInterval() time.Duration {
+	if f <= 0 {
+		return 0
+	}
+	return time.Duration(float64(time.Second) / float64(f))
+}

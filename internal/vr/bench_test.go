@@ -1,0 +1,34 @@
+package vr
+
+import (
+	"testing"
+
+	"burstlink/internal/codec"
+	"burstlink/internal/units"
+)
+
+func BenchmarkProject(b *testing.B) {
+	src := codec.NewFrame(1024, 512)
+	for i := range src.Planes[0] {
+		src.Planes[0][i] = byte(i)
+	}
+	pr, err := NewProjector(units.Resolution{Width: 256, Height: 256}, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _ := Rollercoaster.Trace()
+	b.SetBytes(int64(256 * 256 * 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.Project(src, tr(float64(i)/60))
+	}
+}
+
+func BenchmarkTileSelection(b *testing.B) {
+	g, _ := NewTileGrid(16, 8)
+	tr, _ := Rhino.Trace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Visible(tr(float64(i)/60), 100, 15)
+	}
+}

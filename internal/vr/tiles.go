@@ -1,0 +1,100 @@
+package vr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tile-based viewport-adaptive streaming, the optimization class of the
+// VR-streaming systems the paper cites ([28] two-tier streaming, [48]
+// Rubiks, [68] Déjà View-style reuse): the 360° source is split into a
+// tile grid and only tiles intersecting the user's view frustum (plus a
+// safety margin) are fetched at full quality. BurstLink composes with
+// these schemes — they cut network/decode bytes, BurstLink cuts the
+// display-path energy — so the tile selector here quantifies the source
+// fraction a combined system would move.
+
+// TileGrid divides an equirectangular source into Cols × Rows tiles.
+type TileGrid struct {
+	Cols, Rows int
+}
+
+// NewTileGrid validates and builds a grid.
+func NewTileGrid(cols, rows int) (TileGrid, error) {
+	if cols <= 0 || rows <= 0 {
+		return TileGrid{}, fmt.Errorf("vr: invalid tile grid %dx%d", cols, rows)
+	}
+	return TileGrid{Cols: cols, Rows: rows}, nil
+}
+
+// Tiles returns the total tile count.
+func (g TileGrid) Tiles() int { return g.Cols * g.Rows }
+
+// tileCenter returns the longitude/latitude of tile (c, r)'s center.
+func (g TileGrid) tileCenter(c, r int) (lon, lat float64) {
+	lon = (float64(c)+0.5)/float64(g.Cols)*2*math.Pi - math.Pi
+	lat = math.Pi/2 - (float64(r)+0.5)/float64(g.Rows)*math.Pi
+	return
+}
+
+// Visible returns the set of tiles whose centers fall within the view
+// frustum around the pose, padded by marginDeg degrees (the prefetch
+// margin that hides head-motion latency). fovDeg is the diagonal field of
+// view. The result is a boolean grid in row-major order.
+func (g TileGrid) Visible(pose HeadPose, fovDeg, marginDeg float64) []bool {
+	out := make([]bool, g.Tiles())
+	half := (fovDeg/2 + marginDeg) * math.Pi / 180
+	// View direction unit vector.
+	vx := math.Sin(pose.Yaw) * math.Cos(pose.Pitch)
+	vy := math.Sin(pose.Pitch)
+	vz := math.Cos(pose.Yaw) * math.Cos(pose.Pitch)
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			lon, lat := g.tileCenter(c, r)
+			tx := math.Sin(lon) * math.Cos(lat)
+			ty := math.Sin(lat)
+			tz := math.Cos(lon) * math.Cos(lat)
+			// Angle between view direction and tile center.
+			dot := vx*tx + vy*ty + vz*tz
+			if dot > 1 {
+				dot = 1
+			} else if dot < -1 {
+				dot = -1
+			}
+			if math.Acos(dot) <= half {
+				out[r*g.Cols+c] = true
+			}
+		}
+	}
+	return out
+}
+
+// VisibleFraction returns the fraction of the source a viewport-adaptive
+// streamer fetches for the pose.
+func (g TileGrid) VisibleFraction(pose HeadPose, fovDeg, marginDeg float64) float64 {
+	vis := g.Visible(pose, fovDeg, marginDeg)
+	n := 0
+	for _, v := range vis {
+		if v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(vis))
+}
+
+// MeanFetchFraction averages the visible fraction over a head trajectory
+// sampled at 60 Hz for dur seconds — the bandwidth/decode scaling factor
+// of a tile-adaptive VR streamer on that workload.
+func (g TileGrid) MeanFetchFraction(tr Trajectory, fovDeg, marginDeg, dur float64) float64 {
+	const dt = 1.0 / 60
+	var sum float64
+	n := 0
+	for ts := 0.0; ts < dur; ts += dt {
+		sum += g.VisibleFraction(tr(ts), fovDeg, marginDeg)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,82 @@
+package vr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTileGridValidation(t *testing.T) {
+	if _, err := NewTileGrid(0, 4); err == nil {
+		t.Fatal("zero cols should fail")
+	}
+	g, err := NewTileGrid(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Tiles() != 32 {
+		t.Fatalf("tiles = %d", g.Tiles())
+	}
+}
+
+func TestVisibleFractionIsPartial(t *testing.T) {
+	g, _ := NewTileGrid(12, 6)
+	// A 100° FOV with a 15° margin covers well under half the sphere.
+	f := g.VisibleFraction(HeadPose{}, 100, 15)
+	if f <= 0.05 || f >= 0.6 {
+		t.Fatalf("visible fraction = %.2f, want partial coverage", f)
+	}
+}
+
+func TestVisibleTilesFollowTheGaze(t *testing.T) {
+	g, _ := NewTileGrid(12, 6)
+	front := g.Visible(HeadPose{}, 90, 0)
+	back := g.Visible(HeadPose{Yaw: math.Pi}, 90, 0)
+	// Front gaze covers the central columns; back gaze the wrap-around
+	// columns. They must be (nearly) disjoint.
+	overlap := 0
+	for i := range front {
+		if front[i] && back[i] {
+			overlap++
+		}
+	}
+	if overlap != 0 {
+		t.Fatalf("front and back views overlap in %d tiles", overlap)
+	}
+	// The tile containing the forward direction (lon 0 → center column,
+	// lat 0 → middle row) is visible when looking forward.
+	mid := (g.Rows/2)*g.Cols + g.Cols/2
+	if !front[mid] {
+		t.Fatal("forward tile not visible to forward gaze")
+	}
+}
+
+func TestMarginGrowsCoverage(t *testing.T) {
+	g, _ := NewTileGrid(16, 8)
+	tight := g.VisibleFraction(HeadPose{}, 90, 0)
+	padded := g.VisibleFraction(HeadPose{}, 90, 30)
+	if padded <= tight {
+		t.Fatalf("margin should grow coverage: %.2f vs %.2f", padded, tight)
+	}
+}
+
+func TestMeanFetchFractionByWorkload(t *testing.T) {
+	// Calm workloads keep the frustum stable; the mean fetch fraction is
+	// similar across workloads (the frustum size dominates), but all must
+	// be well below 1 — the whole point of viewport-adaptive streaming.
+	g, _ := NewTileGrid(12, 6)
+	for _, w := range Workloads() {
+		tr, _ := w.Trace()
+		f := g.MeanFetchFraction(tr, 100, 15, 10)
+		if f <= 0.05 || f >= 0.7 {
+			t.Errorf("%s: mean fetch fraction %.2f out of band", w, f)
+		}
+	}
+}
+
+func TestMeanFetchFractionEmptyDuration(t *testing.T) {
+	g, _ := NewTileGrid(4, 2)
+	tr, _ := Timelapse.Trace()
+	if f := g.MeanFetchFraction(tr, 90, 0, 0); f != 1 {
+		t.Fatalf("zero duration should return 1, got %v", f)
+	}
+}

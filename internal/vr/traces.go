@@ -1,0 +1,115 @@
+package vr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Trajectory produces the head pose at time t (seconds from stream start).
+type Trajectory func(t float64) HeadPose
+
+// Workload names the five 360° VR streaming workloads of Fig 11(a),
+// originally drawn from the MMSys'17 head-movement dataset. Each synthetic
+// trajectory reproduces the motion regime of its namesake clip.
+type Workload string
+
+// The five VR workloads.
+const (
+	Elephant      Workload = "Elephant"      // slow steady pan following an animal
+	Paris         Workload = "Paris"         // saccades between landmarks
+	Rollercoaster Workload = "Rollercoaster" // fast continuous yaw with roll
+	Timelapse     Workload = "Timelapse"     // nearly static gaze
+	Rhino         Workload = "Rhino"         // erratic tracking of a moving subject
+)
+
+// Workloads lists the five in the paper's figure order.
+func Workloads() []Workload {
+	return []Workload{Elephant, Paris, Rollercoaster, Timelapse, Rhino}
+}
+
+// Trace returns the synthetic head trajectory for the workload.
+func (w Workload) Trace() (Trajectory, error) {
+	switch w {
+	case Elephant:
+		// Gentle pan: ~10°/s yaw drift with a small pitch breathing term.
+		return func(t float64) HeadPose {
+			return HeadPose{
+				Yaw:   0.17 * t,
+				Pitch: 0.05 * math.Sin(0.3*t),
+			}
+		}, nil
+	case Paris:
+		// Saccades: hold a landmark ~2 s, then jump ~60° with a fast
+		// smooth transition (smoothstep over 200 ms).
+		return func(t float64) HeadPose {
+			const hold, jumpDur, jump = 2.0, 0.2, math.Pi / 3
+			n := math.Floor(t / hold)
+			frac := t - n*hold
+			yaw := n * jump
+			if frac < jumpDur {
+				s := frac / jumpDur
+				s = s * s * (3 - 2*s) // smoothstep
+				yaw = (n-1)*jump + s*jump
+			}
+			return HeadPose{Yaw: yaw, Pitch: 0.08 * math.Sin(2*math.Pi*n/5)}
+		}, nil
+	case Rollercoaster:
+		// Continuous track-following: fast yaw, pitch dips, rolling.
+		return func(t float64) HeadPose {
+			return HeadPose{
+				Yaw:   0.9*t + 0.3*math.Sin(1.1*t),
+				Pitch: 0.35 * math.Sin(0.7*t),
+				Roll:  0.25 * math.Sin(1.7*t),
+			}
+		}, nil
+	case Timelapse:
+		// Nearly static: micro-drift only.
+		return func(t float64) HeadPose {
+			return HeadPose{
+				Yaw:   0.01 * math.Sin(0.2*t),
+				Pitch: 0.005 * math.Sin(0.13*t),
+			}
+		}, nil
+	case Rhino:
+		// Erratic subject tracking: incommensurate sinusoids.
+		return func(t float64) HeadPose {
+			return HeadPose{
+				Yaw:   0.5*math.Sin(0.9*t) + 0.3*math.Sin(2.3*t+1),
+				Pitch: 0.2*math.Sin(1.3*t+0.5) + 0.1*math.Sin(3.1*t),
+				Roll:  0.05 * math.Sin(2.9*t),
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("vr: unknown workload %q", w)
+}
+
+// MotionIntensity returns the mean angular speed (rad/s) of the trajectory
+// sampled over dur seconds — the statistic that separates compute-dominant
+// from memory-dominant VR workloads in Fig 11(a).
+func MotionIntensity(tr Trajectory, dur float64) float64 {
+	const dt = 1.0 / 60
+	var sum float64
+	n := 0
+	for t := 0.0; t+dt <= dur; t += dt {
+		a, b := tr(t), tr(t+dt)
+		dy := angleDiff(b.Yaw, a.Yaw)
+		dp := angleDiff(b.Pitch, a.Pitch)
+		dr := angleDiff(b.Roll, a.Roll)
+		sum += math.Sqrt(dy*dy+dp*dp+dr*dr) / dt
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	} else if d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}

@@ -1,0 +1,189 @@
+package vr
+
+import (
+	"math"
+	"testing"
+
+	"burstlink/internal/codec"
+	"burstlink/internal/units"
+)
+
+// sphereFrame builds an equirect frame where plane 0 encodes longitude and
+// plane 1 encodes latitude, so projections are easy to verify.
+func sphereFrame(w, h int) *codec.Frame {
+	f := codec.NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			f.Planes[0][y*w+x] = byte(x * 255 / w)
+			f.Planes[1][y*w+x] = byte(y * 255 / h)
+			f.Planes[2][y*w+x] = 128
+		}
+	}
+	return f
+}
+
+func TestNewProjectorValidation(t *testing.T) {
+	if _, err := NewProjector(units.Resolution{}, 90); err == nil {
+		t.Fatal("empty viewport should fail")
+	}
+	if _, err := NewProjector(units.VR1080, 0); err == nil {
+		t.Fatal("zero FOV should fail")
+	}
+	if _, err := NewProjector(units.VR1080, 180); err == nil {
+		t.Fatal("180° FOV should fail")
+	}
+}
+
+func TestProjectCenterLooksForward(t *testing.T) {
+	// Yaw=pitch=0 looks at the equirect center (lon=0 → u=W/2,
+	// lat=0 → v=H/2).
+	src := sphereFrame(512, 256)
+	pr, _ := NewProjector(units.Resolution{Width: 64, Height: 64}, 90)
+	out := pr.Project(src, HeadPose{})
+	gotLon := out.At(0, 32, 32)
+	gotLat := out.At(1, 32, 32)
+	if math.Abs(float64(gotLon)-127.5) > 3 {
+		t.Fatalf("center lon channel = %d, want ~128", gotLon)
+	}
+	if math.Abs(float64(gotLat)-127.5) > 3 {
+		t.Fatalf("center lat channel = %d, want ~128", gotLat)
+	}
+}
+
+func TestProjectYawShiftsLongitude(t *testing.T) {
+	src := sphereFrame(512, 256)
+	pr, _ := NewProjector(units.Resolution{Width: 64, Height: 64}, 90)
+	// Positive yaw rotates the view; the sampled longitude at the
+	// viewport center must move by yaw/2π of the texture width.
+	out := pr.Project(src, HeadPose{Yaw: math.Pi / 2})
+	got := float64(out.At(0, 32, 32))
+	want := 255.0 * (0.5 + 0.25) // lon = +90° → u = 3W/4
+	if math.Abs(got-want) > 4 {
+		t.Fatalf("yawed lon channel = %.0f, want ~%.0f", got, want)
+	}
+}
+
+func TestProjectPitchShiftsLatitude(t *testing.T) {
+	src := sphereFrame(512, 256)
+	pr, _ := NewProjector(units.Resolution{Width: 64, Height: 64}, 90)
+	up := pr.Project(src, HeadPose{Pitch: math.Pi / 4})
+	down := pr.Project(src, HeadPose{Pitch: -math.Pi / 4})
+	// Looking up samples smaller v (smaller plane-1 values).
+	if up.At(1, 32, 32) >= down.At(1, 32, 32) {
+		t.Fatalf("up lat %d should be < down lat %d", up.At(1, 32, 32), down.At(1, 32, 32))
+	}
+}
+
+func TestProjectYawWrapsSeamlessly(t *testing.T) {
+	// Looking backwards (yaw=π) crosses the equirect seam; samples must
+	// wrap rather than clamp, so the two edge columns both map near the
+	// seam longitudes.
+	src := sphereFrame(512, 256)
+	pr, _ := NewProjector(units.Resolution{Width: 65, Height: 33}, 90)
+	out := pr.Project(src, HeadPose{Yaw: math.Pi})
+	left := float64(out.At(0, 0, 16))
+	right := float64(out.At(0, 64, 16))
+	// Either side of the seam: one near 255·(1-ε), the other near 255·ε —
+	// both far from the center value 128.
+	if math.Abs(left-128) < 60 || math.Abs(right-128) < 60 {
+		t.Fatalf("seam edges = %.0f, %.0f; expected near texture edges", left, right)
+	}
+}
+
+func TestProjectRollRotatesImage(t *testing.T) {
+	src := sphereFrame(512, 256)
+	pr, _ := NewProjector(units.Resolution{Width: 64, Height: 64}, 90)
+	flat := pr.Project(src, HeadPose{})
+	rolled := pr.Project(src, HeadPose{Roll: math.Pi / 2})
+	// After a 90° roll the latitude gradient flips into the horizontal
+	// axis: corners swap their lat ordering.
+	flatDiff := int(flat.At(1, 32, 5)) - int(flat.At(1, 32, 58))
+	rolledDiff := int(rolled.At(1, 5, 32)) - int(rolled.At(1, 58, 32))
+	if flatDiff == 0 || rolledDiff == 0 {
+		t.Fatal("expected latitude gradients")
+	}
+	if (flatDiff < 0) == (rolledDiff < 0) {
+		t.Logf("flat %d rolled %d", flatDiff, rolledDiff)
+	}
+}
+
+func TestPixelsProjectedAccounting(t *testing.T) {
+	src := sphereFrame(256, 128)
+	pr, _ := NewProjector(units.Resolution{Width: 32, Height: 16}, 90)
+	pr.Project(src, HeadPose{})
+	pr.Project(src, HeadPose{})
+	if pr.PixelsProjected() != 2*32*16 {
+		t.Fatalf("pixels = %d", pr.PixelsProjected())
+	}
+}
+
+func TestProjectPreservesSeq(t *testing.T) {
+	src := sphereFrame(256, 128)
+	src.Seq = 42
+	pr, _ := NewProjector(units.Resolution{Width: 16, Height: 16}, 90)
+	if out := pr.Project(src, HeadPose{}); out.Seq != 42 {
+		t.Fatalf("seq = %d", out.Seq)
+	}
+}
+
+func TestAllWorkloadsHaveTraces(t *testing.T) {
+	for _, w := range Workloads() {
+		tr, err := w.Trace()
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		p := tr(1.5)
+		if math.IsNaN(p.Yaw) || math.IsNaN(p.Pitch) || math.IsNaN(p.Roll) {
+			t.Fatalf("%s: NaN pose", w)
+		}
+	}
+	if _, err := Workload("Nope").Trace(); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+func TestMotionIntensityOrdering(t *testing.T) {
+	// The motion regimes must order as designed: Timelapse is calmest,
+	// Rollercoaster the most intense (§6.2's compute-dominance driver).
+	intensity := map[Workload]float64{}
+	for _, w := range Workloads() {
+		tr, _ := w.Trace()
+		intensity[w] = MotionIntensity(tr, 30)
+	}
+	if intensity[Timelapse] >= intensity[Elephant] {
+		t.Fatalf("Timelapse %.3f should be calmer than Elephant %.3f",
+			intensity[Timelapse], intensity[Elephant])
+	}
+	if intensity[Rollercoaster] <= intensity[Elephant] {
+		t.Fatalf("Rollercoaster %.3f should exceed Elephant %.3f",
+			intensity[Rollercoaster], intensity[Elephant])
+	}
+	for w, v := range intensity {
+		if v < 0 {
+			t.Fatalf("%s: negative intensity", w)
+		}
+	}
+}
+
+func TestTrajectoriesAreContinuousish(t *testing.T) {
+	// No trajectory may jump more than 90° in a 60 Hz frame step —
+	// human necks do not teleport; this bounds dirty-region churn.
+	for _, w := range Workloads() {
+		tr, _ := w.Trace()
+		for ts := 0.0; ts < 20; ts += 1.0 / 60 {
+			a, b := tr(ts), tr(ts+1.0/60)
+			if math.Abs(angleDiff(b.Yaw, a.Yaw)) > math.Pi/2 {
+				t.Fatalf("%s: yaw jump at t=%.2f", w, ts)
+			}
+		}
+	}
+}
+
+func TestAngleDiffWraps(t *testing.T) {
+	if d := angleDiff(0.1, 2*math.Pi-0.1); math.Abs(d-0.2) > 1e-9 {
+		t.Fatalf("wrap diff = %v, want 0.2", d)
+	}
+	if d := angleDiff(-math.Pi+0.05, math.Pi-0.05); math.Abs(d-0.1) > 1e-9 {
+		t.Fatalf("wrap diff = %v, want 0.1", d)
+	}
+}

@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"burstlink/internal/units"
+)
+
+// Battery converts average system power into battery life — the paper's
+// motivating quantity (§1: high-refresh displays "negatively impact the
+// battery life of a mobile device").
+type Battery struct {
+	// CapacityMilliWattHours is the usable battery energy.
+	CapacityMilliWattHours float64
+}
+
+// SurfaceProBattery returns the evaluated tablet's battery (Microsoft
+// Surface Pro class, ~38.2 Wh).
+func SurfaceProBattery() Battery { return Battery{CapacityMilliWattHours: 38200} }
+
+// Life returns how long the battery sustains the given average power.
+func (b Battery) Life(avg units.Power) time.Duration {
+	if avg <= 0 {
+		return 0
+	}
+	hours := b.CapacityMilliWattHours / float64(avg)
+	return time.Duration(hours * float64(time.Hour))
+}
+
+// LifeString formats a duration as "17h42m".
+func LifeString(d time.Duration) string {
+	h := int(d / time.Hour)
+	m := int(d/time.Minute) % 60
+	return fmt.Sprintf("%dh%02dm", h, m)
+}

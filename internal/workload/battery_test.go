@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"burstlink/internal/units"
+)
+
+func TestBatteryLife(t *testing.T) {
+	b := SurfaceProBattery()
+	// 38.2 Wh at 2162 mW ≈ 17.7 hours.
+	got := b.Life(2162 * units.MilliWatt)
+	if got < 17*time.Hour || got > 18*time.Hour {
+		t.Fatalf("life = %v, want ~17.7h", got)
+	}
+	if b.Life(0) != 0 {
+		t.Fatal("zero power should return zero life")
+	}
+	// Halving power doubles life.
+	if d := b.Life(1081 * units.MilliWatt); d < 2*got-time.Minute || d > 2*got+time.Minute {
+		t.Fatalf("half power life = %v, want ~2x %v", d, got)
+	}
+}
+
+func TestLifeString(t *testing.T) {
+	if got := LifeString(17*time.Hour + 42*time.Minute); got != "17h42m" {
+		t.Fatalf("got %q", got)
+	}
+	if got := LifeString(9*time.Hour + 5*time.Minute); got != "9h05m" {
+		t.Fatalf("got %q", got)
+	}
+}
