@@ -14,10 +14,12 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"burstlink/internal/baseline"
 	"burstlink/internal/core"
 	"burstlink/internal/exp"
+	"burstlink/internal/par"
 	"burstlink/internal/pipeline"
 	"burstlink/internal/power"
 	"burstlink/internal/units"
@@ -283,6 +285,41 @@ func BenchmarkFunctionalPipelines(b *testing.B) {
 			if _, err := core.RunFunctional(p, cfg); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkExpSweep runs the complete paper sweep (every Registry
+// experiment) serially and on the worker pool, reporting the pool's
+// wall-clock speedup as speedup_x (≈1 on a single-core machine). The
+// parallel sweep is what `burstlink run all` executes.
+func BenchmarkExpSweep(b *testing.B) {
+	exps := exp.Registry()
+	b.Run("serial", func(b *testing.B) {
+		defer par.SetWorkers(par.SetWorkers(1))
+		for i := 0; i < b.N; i++ {
+			if _, err := exp.RunAll(exps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		defer par.SetWorkers(par.SetWorkers(1))
+		start := time.Now()
+		if _, err := exp.RunAll(exps); err != nil {
+			b.Fatal(err)
+		}
+		serial := time.Since(start)
+		par.SetWorkers(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := exp.RunAll(exps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if per := b.Elapsed() / time.Duration(b.N); per > 0 {
+			b.ReportMetric(float64(serial)/float64(per), "speedup_x")
 		}
 	})
 }

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Repository check: tier-1 build+test, race detector, vet, formatting.
+# See README.md "Testing & verification".
+set -e
+
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== gofmt -l ."
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt: these files need formatting:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "all checks passed"

@@ -34,6 +34,8 @@ func main() {
 		err = infoCmd(os.Args[2:])
 	case "decode":
 		err = decodeCmd(os.Args[2:])
+	case "bench-json":
+		err = benchJSONCmd(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -45,11 +47,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: blkv <encode|info|decode> [flags]
+	fmt.Fprintln(os.Stderr, `usage: blkv <encode|info|decode|bench-json> [flags]
 
-  encode -o FILE [-w W] [-h H] [-frames N] [-q QUALITY] [-b BPERIOD] [-bitrate MBPS]
-  info   -i FILE
-  decode -i FILE [-raw FILE]`)
+  encode     -o FILE [-w W] [-h H] [-frames N] [-q QUALITY] [-b BPERIOD] [-bitrate MBPS]
+  info       -i FILE
+  decode     -i FILE [-raw FILE]
+  bench-json [-o FILE] [-w W] [-h H] [-reps N]   time the parallel kernels, write JSON`)
 }
 
 // synthFrame draws moving synthetic content.

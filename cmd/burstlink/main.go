@@ -94,11 +94,13 @@ func runCmd(args []string) error {
 		return nil
 	}
 	if args[0] == "all" {
-		for _, e := range exp.Registry() {
-			tab, err := e.Run()
-			if err != nil {
-				return fmt.Errorf("%s: %w", e.ID, err)
-			}
+		// The drivers are independent, so the sweep runs them on the
+		// worker pool; tables still print in registry order.
+		tabs, err := exp.RunAll(exp.Registry())
+		if err != nil {
+			return err
+		}
+		for _, tab := range tabs {
 			if err := emit(tab); err != nil {
 				return err
 			}

@@ -3,6 +3,9 @@ package codec
 import (
 	"fmt"
 	"testing"
+	"time"
+
+	"burstlink/internal/par"
 )
 
 // Codec throughput benchmarks: the software codec's pixel rates put the
@@ -53,6 +56,115 @@ func BenchmarkDecode(b *testing.B) {
 			}
 		})
 	}
+}
+
+// reportSpeedup times one serial execution of run (par.SetWorkers(1)),
+// then benchmarks run with the default worker pool and reports the ratio
+// as the speedup_x metric. On a 1-core machine the ratio hovers around 1.
+func reportSpeedup(b *testing.B, run func()) {
+	b.Helper()
+	defer par.SetWorkers(par.SetWorkers(1))
+	start := time.Now()
+	run()
+	serial := time.Since(start)
+	par.SetWorkers(0) // default: all cores
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.StopTimer()
+	if per := b.Elapsed() / time.Duration(b.N); per > 0 {
+		b.ReportMetric(float64(serial)/float64(per), "speedup_x")
+	}
+}
+
+// BenchmarkEncodeParallel measures P-frame encoding (the motion-search
+// dominated path the worker pool accelerates) at high resolutions,
+// reporting parallel-vs-serial speedup. The 4K variant is skipped under
+// -short: the software codec needs seconds per 4K frame.
+func BenchmarkEncodeParallel(b *testing.B) {
+	dims := []struct {
+		name string
+		w, h int
+	}{{"1080p", 1920, 1080}, {"4K", 3840, 2160}}
+	for _, dim := range dims {
+		b.Run(dim.name, func(b *testing.B) {
+			if dim.w >= 3840 && testing.Short() {
+				b.Skip("4K software encode is seconds per frame; skipped under -short")
+			}
+			frames := benchFrames(dim.w, dim.h, 2)
+			cfg := DefaultEncoderConfig()
+			cfg.GOP = 1 << 30 // first frame I, everything after P
+			enc, err := NewEncoder(dim.w, dim.h, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := enc.Encode(frames[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(3 * dim.w * dim.h))
+			i := 0
+			reportSpeedup(b, func() {
+				if _, _, err := enc.Encode(frames[1+i%1]); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			})
+		})
+	}
+}
+
+// BenchmarkDecodeParallel measures decoding of an I+P packet pair with
+// the two-phase (parse, then parallel reconstruct) decoder.
+func BenchmarkDecodeParallel(b *testing.B) {
+	const w, h = 1920, 1080
+	frames := benchFrames(w, h, 2)
+	cfg := DefaultEncoderConfig()
+	enc, err := NewEncoder(w, h, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pkts [2]Packet
+	for i := range pkts {
+		if pkts[i], _, err = enc.Encode(frames[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(2 * 3 * w * h))
+	reportSpeedup(b, func() {
+		dec := NewDecoder()
+		for i := range pkts {
+			if _, err := dec.Decode(pkts[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSAD pins the cost of the inner motion-estimation kernel on its
+// two paths: the branch-light interior fast path and the clamped edge
+// path, plus the early-out win against a tight incumbent.
+func BenchmarkSAD(b *testing.B) {
+	cur := noiseTexture(128, 128, 3, -2)
+	ref := noiseTexture(128, 128, 0, 0)
+	full := sadMB(cur, ref, 48, 48, MotionVector{DX: 2, DY: 1}, 1<<30)
+	b.Run("interior", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sadMB(cur, ref, 48, 48, MotionVector{DX: 2, DY: 1}, 1<<30)
+		}
+	})
+	b.Run("interior-earlyout", func(b *testing.B) {
+		// An incumbent at 1/8 of the candidate's SAD: the early-out must
+		// stop the scan within the first rows, not finish them.
+		for i := 0; i < b.N; i++ {
+			sadMB(cur, ref, 48, 48, MotionVector{DX: 2, DY: 1}, full/8)
+		}
+	})
+	b.Run("edge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sadMB(cur, ref, 120, 120, MotionVector{DX: 4, DY: 4}, 1<<30)
+		}
+	})
 }
 
 func BenchmarkMotionSearch(b *testing.B) {

@@ -87,14 +87,25 @@ func (f *Frame) Set(p, x, y int, v byte) {
 // Interleaved returns the frame as packed 3-byte pixels, the layout the
 // display pipeline moves around.
 func (f *Frame) Interleaved() []byte {
-	out := make([]byte, f.Size())
+	return f.InterleavedInto(nil)
+}
+
+// InterleavedInto packs the frame into dst, reusing its backing array
+// when it has the capacity (callers with pooled buffers avoid the
+// per-frame allocation of Interleaved). A nil or undersized dst is
+// reallocated. Returns the packed slice.
+func (f *Frame) InterleavedInto(dst []byte) []byte {
+	if cap(dst) < f.Size() {
+		dst = make([]byte, f.Size())
+	}
+	dst = dst[:f.Size()]
 	n := f.W * f.H
 	for i := 0; i < n; i++ {
-		out[3*i] = f.Planes[0][i]
-		out[3*i+1] = f.Planes[1][i]
-		out[3*i+2] = f.Planes[2][i]
+		dst[3*i] = f.Planes[0][i]
+		dst[3*i+1] = f.Planes[1][i]
+		dst[3*i+2] = f.Planes[2][i]
 	}
-	return out
+	return dst
 }
 
 // FromInterleaved fills the frame from packed 3-byte pixels.

@@ -76,6 +76,32 @@ func TestInterleavedRoundTrip(t *testing.T) {
 	}
 }
 
+func TestInterleavedInto(t *testing.T) {
+	f := noiseFrame(32, 16, 5)
+	want := f.Interleaved()
+
+	// Undersized and nil destinations reallocate.
+	if got := f.InterleavedInto(nil); !bytes.Equal(got, want) {
+		t.Fatal("InterleavedInto(nil) differs from Interleaved")
+	}
+	if got := f.InterleavedInto(make([]byte, 10)); !bytes.Equal(got, want) {
+		t.Fatal("InterleavedInto(short) differs from Interleaved")
+	}
+
+	// A big-enough destination is reused in place.
+	dst := make([]byte, f.Size()+100)
+	got := f.InterleavedInto(dst)
+	if !bytes.Equal(got, want) {
+		t.Fatal("InterleavedInto(sized) differs from Interleaved")
+	}
+	if &got[0] != &dst[0] {
+		t.Fatal("InterleavedInto reallocated a sufficient destination")
+	}
+	if len(got) != f.Size() {
+		t.Fatalf("InterleavedInto length %d, want %d", len(got), f.Size())
+	}
+}
+
 func TestPSNRIdentical(t *testing.T) {
 	f := gradientFrame(64, 48, 0)
 	v, err := PSNR(f, f)

@@ -1,5 +1,7 @@
 package codec
 
+import "burstlink/internal/par"
+
 // In-loop deblocking: block-based transforms leave visible discontinuities
 // at 8×8 block boundaries at low bitrates. The filter smooths boundary
 // pixel pairs whose step is small enough to be a coding artifact (large
@@ -7,6 +9,12 @@ package codec
 // in-loop filters the paper's codecs use. It runs identically in the
 // encoder's reconstruction path and the decoder — filtered frames are the
 // reference frames — so streams stay bit-exact.
+//
+// Both passes parallelize cleanly: each filtered edge reads and writes a
+// fixed four-pixel neighborhood, and neighborhoods of distinct edges are
+// disjoint (edges are blockSize apart, the neighborhood spans four
+// pixels), so the per-edge operations commute and any partition over the
+// worker pool produces the same frame as the serial filter.
 
 // deblockFrame filters all block boundaries of f in place. strength
 // derives from the quantization step: coarser quantization leaves bigger
@@ -25,46 +33,58 @@ func deblockFrame(f *Frame, quality int) {
 }
 
 // deblockVertical filters vertical block boundaries (columns at multiples
-// of blockSize).
+// of blockSize). Each pixel row is independent, so rows fan out over the
+// worker pool.
 func deblockVertical(f *Frame, p int, threshold int32) {
-	for x := blockSize; x < f.W; x += blockSize {
-		for y := 0; y < f.H; y++ {
-			i := y*f.W + x
-			q0 := int32(f.Planes[p][i])   // first pixel right of the edge
-			p0 := int32(f.Planes[p][i-1]) // first pixel left of the edge
-			d := q0 - p0
-			if d < 0 {
-				d = -d
+	plane := f.Planes[p]
+	par.ForEachChunk(f.H, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			row := plane[y*f.W : (y+1)*f.W]
+			for x := blockSize; x < f.W; x += blockSize {
+				q0 := int32(row[x])   // first pixel right of the edge
+				p0 := int32(row[x-1]) // first pixel left of the edge
+				d := q0 - p0
+				if d < 0 {
+					d = -d
+				}
+				if d == 0 || d >= threshold {
+					continue
+				}
+				// Symmetric 1-2-1 smoothing across the edge.
+				var p1, q1 int32
+				if x >= 2 {
+					p1 = int32(row[x-2])
+				} else {
+					p1 = p0
+				}
+				if x+1 < f.W {
+					q1 = int32(row[x+1])
+				} else {
+					q1 = q0
+				}
+				row[x-1] = byte((p1 + 2*p0 + q0 + 2) / 4)
+				row[x] = byte((p0 + 2*q0 + q1 + 2) / 4)
 			}
-			if d == 0 || d >= threshold {
-				continue
-			}
-			// Symmetric 1-2-1 smoothing across the edge.
-			var p1, q1 int32
-			if x >= 2 {
-				p1 = int32(f.Planes[p][i-2])
-			} else {
-				p1 = p0
-			}
-			if x+1 < f.W {
-				q1 = int32(f.Planes[p][i+1])
-			} else {
-				q1 = q0
-			}
-			f.Planes[p][i-1] = byte((p1 + 2*p0 + q0 + 2) / 4)
-			f.Planes[p][i] = byte((p0 + 2*q0 + q1 + 2) / 4)
 		}
-	}
+	})
 }
 
 // deblockHorizontal filters horizontal block boundaries (rows at
-// multiples of blockSize).
+// multiples of blockSize). Edges are blockSize rows apart and each
+// touches only rows y-2..y+1, so distinct edges fan out over the worker
+// pool without overlap.
 func deblockHorizontal(f *Frame, p int, threshold int32) {
-	for y := blockSize; y < f.H; y += blockSize {
+	plane := f.Planes[p]
+	nEdges := 0
+	if f.H > blockSize {
+		nEdges = (f.H - 1) / blockSize
+	}
+	par.ForEach(nEdges, func(k int) {
+		y := (k + 1) * blockSize
 		for x := 0; x < f.W; x++ {
 			i := y*f.W + x
-			q0 := int32(f.Planes[p][i])
-			p0 := int32(f.Planes[p][i-f.W])
+			q0 := int32(plane[i])
+			p0 := int32(plane[i-f.W])
 			d := q0 - p0
 			if d < 0 {
 				d = -d
@@ -74,17 +94,17 @@ func deblockHorizontal(f *Frame, p int, threshold int32) {
 			}
 			var p1, q1 int32
 			if y >= 2 {
-				p1 = int32(f.Planes[p][i-2*f.W])
+				p1 = int32(plane[i-2*f.W])
 			} else {
 				p1 = p0
 			}
 			if y+1 < f.H {
-				q1 = int32(f.Planes[p][i+f.W])
+				q1 = int32(plane[i+f.W])
 			} else {
 				q1 = q0
 			}
-			f.Planes[p][i-f.W] = byte((p1 + 2*p0 + q0 + 2) / 4)
-			f.Planes[p][i] = byte((p0 + 2*q0 + q1 + 2) / 4)
+			plane[i-f.W] = byte((p1 + 2*p0 + q0 + 2) / 4)
+			plane[i] = byte((p0 + 2*q0 + q1 + 2) / 4)
 		}
-	}
+	})
 }

@@ -2,6 +2,8 @@ package codec
 
 import (
 	"fmt"
+
+	"burstlink/internal/par"
 )
 
 // RowSink receives reconstructed macroblock rows as the decoder finishes
@@ -10,6 +12,10 @@ import (
 // the streaming hook the destination selector (§4.4) uses: in conventional
 // mode the rows are DMAed to the DRAM frame buffer; under Frame Buffer
 // Bypass they go peer-to-peer to the display controller buffer.
+//
+// data is only valid for the duration of the callback (the buffer is
+// pooled and reused for the next row); sinks that keep the pixels must
+// copy them out, as a DMA engine would.
 type RowSink func(rowIdx int, data []byte)
 
 // Decoder reconstructs frames from packets produced by Encoder.
@@ -106,10 +112,45 @@ func (d *Decoder) Decode(p Packet) (*Frame, error) {
 	}
 
 	mbw, mbh := mbCount(d.w, d.h)
+	plans := getDecPlans(mbw * mbh)
+	defer putDecPlans(plans)
+
+	// Phase 1 (serial): parse every macroblock's syntax out of the
+	// bitstream. Entropy decoding is inherently sequential — each
+	// macroblock's bits start where the previous one's ended.
 	for my := 0; my < mbh; my++ {
 		for mx := 0; mx < mbw; mx++ {
-			if err := d.decodeMB(r, recon, fwd, bwd, mx*MBSize, my*MBSize); err != nil {
+			if err := d.parseMB(r, bwd, &plans[my*mbw+mx]); err != nil {
 				return nil, fmt.Errorf("codec: MB (%d,%d): %w", mx, my, err)
+			}
+		}
+	}
+
+	// Phase 2 (parallel): reconstruct every macroblock whose prediction
+	// reads only the immutable reference frames (skip, inter, bi), and
+	// inverse-transform the residual of intra macroblocks in place. Each
+	// macroblock writes its own pixel region, so rows fan out over the
+	// worker pool without races, and the output is byte-identical to the
+	// serial decoder.
+	par.ForEachChunk(mbh, func(lo, hi int) {
+		for my := lo; my < hi; my++ {
+			for mx := 0; mx < mbw; mx++ {
+				d.reconMB(recon, fwd, bwd, mx*MBSize, my*MBSize, &plans[my*mbw+mx])
+			}
+		}
+	})
+
+	// Phase 3 (serial): intra macroblocks in raster order. Intra
+	// prediction reads reconstructed neighbors (the column left of and
+	// the row above the macroblock), which at this point hold exactly the
+	// samples the serial decoder would have produced: inter neighbors
+	// were finished in phase 2, and earlier intra neighbors are finished
+	// by the raster order of this pass.
+	for my := 0; my < mbh; my++ {
+		for mx := 0; mx < mbw; mx++ {
+			pl := &plans[my*mbw+mx]
+			if pl.mode == uint64(mbIntra) {
+				d.reconIntraMB(recon, mx*MBSize, my*MBSize, pl)
 			}
 		}
 		// Without the in-loop filter, rows stream out as soon as they
@@ -140,14 +181,16 @@ func (d *Decoder) Decode(p Packet) (*Frame, error) {
 	return recon, nil
 }
 
-// emitRow streams one reconstructed macroblock row to the sink.
+// emitRow streams one reconstructed macroblock row to the sink. The
+// buffer is pooled; RowSink documents that it is only valid during the
+// callback.
 func (d *Decoder) emitRow(f *Frame, mbRow int) {
 	y0 := mbRow * MBSize
 	y1 := y0 + MBSize
 	if y1 > f.H {
 		y1 = f.H
 	}
-	out := make([]byte, (y1-y0)*f.W*3)
+	out := getRowBuf((y1 - y0) * f.W * 3)
 	i := 0
 	for y := y0; y < y1; y++ {
 		for x := 0; x < f.W; x++ {
@@ -158,9 +201,12 @@ func (d *Decoder) emitRow(f *Frame, mbRow int) {
 		}
 	}
 	d.sink(mbRow, out)
+	putRowBuf(out)
 }
 
-func (d *Decoder) decodeMB(r *BitReader, recon, fwd, bwd *Frame, px, py int) error {
+// parseMB extracts one macroblock's syntax — mode, motion vectors, and
+// quantized coefficients — into pl without touching the reconstruction.
+func (d *Decoder) parseMB(r *BitReader, bwd *Frame, pl *mbDec) error {
 	modeRaw, err := r.ReadUE()
 	if err != nil {
 		return err
@@ -170,9 +216,10 @@ func (d *Decoder) decodeMB(r *BitReader, recon, fwd, bwd *Frame, px, py int) err
 	if modeRaw != uint64(mbIntra) && bwd == nil {
 		return fmt.Errorf("inter MB mode %d without reference frame", modeRaw)
 	}
+	pl.mode = modeRaw
+	pl.hasRes = false
 	switch modeRaw {
 	case uint64(mbSkip):
-		copyMB(recon, bwd, px, py, MotionVector{})
 		return nil
 	case uint64(mbInter):
 		dx, err := r.ReadSE()
@@ -183,10 +230,7 @@ func (d *Decoder) decodeMB(r *BitReader, recon, fwd, bwd *Frame, px, py int) err
 		if err != nil {
 			return err
 		}
-		mv := MotionVector{DX: int(dx), DY: int(dy)}
-		return d.applyResidual(r, recon, px, py, func(p, x, y int) int32 {
-			return int32(bwd.At(p, x+mv.DX, y+mv.DY))
-		})
+		pl.mvB = MotionVector{DX: int(dx), DY: int(dy)}
 	case 3: // bidirectional
 		var mvs [4]int64
 		for i := range mvs {
@@ -194,13 +238,8 @@ func (d *Decoder) decodeMB(r *BitReader, recon, fwd, bwd *Frame, px, py int) err
 				return err
 			}
 		}
-		mvF := MotionVector{DX: int(mvs[0]), DY: int(mvs[1])}
-		mvB := MotionVector{DX: int(mvs[2]), DY: int(mvs[3])}
-		return d.applyResidual(r, recon, px, py, func(p, x, y int) int32 {
-			f := int32(fwd.At(p, x+mvF.DX, y+mvF.DY))
-			b := int32(bwd.At(p, x+mvB.DX, y+mvB.DY))
-			return (f + b + 1) / 2
-		})
+		pl.mvF = MotionVector{DX: int(mvs[0]), DY: int(mvs[1])}
+		pl.mvB = MotionVector{DX: int(mvs[2]), DY: int(mvs[3])}
 	case uint64(mbIntra):
 		imode, err := r.ReadUE()
 		if err != nil {
@@ -209,23 +248,60 @@ func (d *Decoder) decodeMB(r *BitReader, recon, fwd, bwd *Frame, px, py int) err
 		if imode >= numIntraModes {
 			return fmt.Errorf("bad intra mode %d", imode)
 		}
-		return d.applyResidual(r, recon, px, py, intraPred(recon, px, py, int(imode)))
+		pl.imode = int(imode)
 	default:
 		return fmt.Errorf("bad MB mode %d", modeRaw)
 	}
+	for bi := 0; bi < mbBlocks; bi++ {
+		if err := readCoeffs(r, &pl.res[bi]); err != nil {
+			return err
+		}
+	}
+	pl.hasRes = true
+	return nil
 }
 
-// applyResidual parses and reconstructs the macroblock's residual blocks.
-func (d *Decoder) applyResidual(r *BitReader, recon *Frame, px, py int, pred func(p, x, y int) int32) error {
-	var coef, res [blockSize * blockSize]int32
+// reconMB reconstructs one parsed macroblock in the parallel phase. Skip,
+// inter, and bi macroblocks predict only from the reference frames, so
+// they reconstruct completely; intra macroblocks get their residual
+// inverse-transformed in place (res becomes spatial samples) and finish
+// in the serial phase 3.
+func (d *Decoder) reconMB(recon, fwd, bwd *Frame, px, py int, pl *mbDec) {
+	switch pl.mode {
+	case uint64(mbSkip):
+		copyMB(recon, bwd, px, py, MotionVector{})
+	case uint64(mbInter):
+		mv := pl.mvB
+		d.addResidual(recon, px, py, pl, func(p, x, y int) int32 {
+			return int32(bwd.At(p, x+mv.DX, y+mv.DY))
+		})
+	case 3:
+		mvF, mvB := pl.mvF, pl.mvB
+		d.addResidual(recon, px, py, pl, func(p, x, y int) int32 {
+			f := int32(fwd.At(p, x+mvF.DX, y+mvF.DY))
+			b := int32(bwd.At(p, x+mvB.DX, y+mvB.DY))
+			return (f + b + 1) / 2
+		})
+	case uint64(mbIntra):
+		var res [blockSize * blockSize]int32
+		for bi := 0; bi < mbBlocks; bi++ {
+			dequantize(&pl.res[bi], &d.table)
+			idct8(&pl.res[bi], &res)
+			pl.res[bi] = res
+		}
+	}
+}
+
+// reconIntraMB finishes an intra macroblock in phase 3: its residual was
+// already inverse-transformed by reconMB, so this just adds the spatial
+// prediction from the (now final) neighboring samples.
+func (d *Decoder) reconIntraMB(recon *Frame, px, py int, pl *mbDec) {
+	pred := intraPred(recon, px, py, pl.imode)
+	bi := 0
 	for p := 0; p < 3; p++ {
 		for by := 0; by < MBSize; by += blockSize {
 			for bx := 0; bx < MBSize; bx += blockSize {
-				if err := readCoeffs(r, &coef); err != nil {
-					return err
-				}
-				dequantize(&coef, &d.table)
-				idct8(&coef, &res)
+				res := &pl.res[bi]
 				for y := 0; y < blockSize; y++ {
 					for x := 0; x < blockSize; x++ {
 						fx, fy := px+bx+x, py+by+y
@@ -233,10 +309,34 @@ func (d *Decoder) applyResidual(r *BitReader, recon *Frame, px, py int, pred fun
 						recon.Set(p, fx, fy, clampByte(v))
 					}
 				}
+				bi++
 			}
 		}
 	}
-	return nil
+}
+
+// addResidual inverse-transforms a parsed macroblock's residual (in
+// place: the coefficients become spatial samples first) and adds the
+// prediction, writing the reconstruction.
+func (d *Decoder) addResidual(recon *Frame, px, py int, pl *mbDec, pred func(p, x, y int) int32) {
+	var res [blockSize * blockSize]int32
+	bi := 0
+	for p := 0; p < 3; p++ {
+		for by := 0; by < MBSize; by += blockSize {
+			for bx := 0; bx < MBSize; bx += blockSize {
+				dequantize(&pl.res[bi], &d.table)
+				idct8(&pl.res[bi], &res)
+				for y := 0; y < blockSize; y++ {
+					for x := 0; x < blockSize; x++ {
+						fx, fy := px+bx+x, py+by+y
+						v := res[y*blockSize+x] + pred(p, fx, fy) - 128
+						recon.Set(p, fx, fy, clampByte(v))
+					}
+				}
+				bi++
+			}
+		}
+	}
 }
 
 // readCoeffs parses one entropy-coded 8×8 block into coef.

@@ -1,0 +1,177 @@
+package codec
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"burstlink/internal/par"
+)
+
+// The parallel encoder and decoder must be byte-identical to the serial
+// ones (par.SetWorkers(1)) for any worker count: the worker pool only
+// partitions reference-dependent work, never reorders arithmetic. These
+// tests pin that invariant across all three frame types and a frame size
+// that exercises the edge-macroblock paths.
+
+// detFrames builds seeded synthetic frames with enough motion and texture
+// to produce skip, inter, bi, and intra macroblocks.
+func detFrames(w, h, n int) []*Frame {
+	out := make([]*Frame, n)
+	rnd := uint32(0x2545F491)
+	for i := range out {
+		f := NewFrame(w, h)
+		f.Seq = i
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				j := y*w + x
+				f.Planes[0][j] = byte((x*3 + y*5 + i*7) & 0xFF)
+				f.Planes[1][j] = byte((x ^ y) & 0xFF)
+				f.Planes[2][j] = byte((x + 2*y + i) & 0xFF)
+			}
+		}
+		// A moving textured block forces real motion vectors, and a noise
+		// patch forces intra decisions.
+		bx := (i * 5) % (w - 24)
+		for y := 8; y < 24 && y < h; y++ {
+			for x := bx; x < bx+24; x++ {
+				rnd = rnd*1664525 + 1013904223
+				f.Planes[0][y*w+x] = byte(rnd >> 24)
+			}
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// encodeAll runs the GOP encoder (I, P, and B frames) over the test
+// sequence and returns the packets in decode order.
+func encodeAll(t *testing.T, frames []*Frame, w, h int) []Packet {
+	t.Helper()
+	cfg := EncoderConfig{Quality: 40, GOP: 4, SearchWindow: 6, SkipThreshold: 512}
+	genc, err := NewGOPEncoder(w, h, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var packets []Packet
+	for _, f := range frames {
+		pkts, err := genc.Push(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packets = append(packets, pkts...)
+	}
+	tail, err := genc.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(packets, tail...)
+}
+
+// decodeAll decodes packets and returns the concatenated plane bytes of
+// every reconstructed frame.
+func decodeAll(t *testing.T, packets []Packet) []byte {
+	t.Helper()
+	dec := NewGOPDecoder()
+	var out bytes.Buffer
+	for _, pkt := range packets {
+		frames, err := dec.Push(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range frames {
+			for p := range f.Planes {
+				out.Write(f.Planes[p])
+			}
+		}
+	}
+	return out.Bytes()
+}
+
+func TestParallelCodecDeterminism(t *testing.T) {
+	// 104x72: not a multiple of 16, so right and bottom edge macroblocks
+	// take the clamped paths.
+	const w, h = 104, 72
+	frames := detFrames(w, h, 10)
+
+	defer par.SetWorkers(par.SetWorkers(1))
+	refPackets := encodeAll(t, frames, w, h)
+	refPixels := decodeAll(t, refPackets)
+
+	types := map[FrameType]int{}
+	for _, p := range refPackets {
+		types[p.Type]++
+	}
+	for _, ft := range []FrameType{IFrame, PFrame, BFrame} {
+		if types[ft] == 0 {
+			t.Fatalf("test stream has no %v frames; determinism coverage incomplete", ft)
+		}
+	}
+
+	for _, workers := range []int{2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			par.SetWorkers(workers)
+			defer par.SetWorkers(1)
+			packets := encodeAll(t, frames, w, h)
+			if len(packets) != len(refPackets) {
+				t.Fatalf("packet count %d, serial produced %d", len(packets), len(refPackets))
+			}
+			for i := range packets {
+				if packets[i].Type != refPackets[i].Type || packets[i].Seq != refPackets[i].Seq {
+					t.Fatalf("packet %d header (%v, seq %d) != serial (%v, seq %d)",
+						i, packets[i].Type, packets[i].Seq, refPackets[i].Type, refPackets[i].Seq)
+				}
+				if !bytes.Equal(packets[i].Data, refPackets[i].Data) {
+					t.Fatalf("packet %d (%v): bitstream differs from serial encoder", i, packets[i].Type)
+				}
+			}
+			// Decode the serial packets with the parallel decoder: frames
+			// must match the serial decode byte for byte.
+			if pixels := decodeAll(t, refPackets); !bytes.Equal(pixels, refPixels) {
+				t.Fatalf("parallel decode differs from serial decode")
+			}
+		})
+	}
+}
+
+// TestParallelDecoderRowStreaming pins that the pooled row-sink buffers
+// carry the same bytes in the same order for any worker count.
+func TestParallelDecoderRowStreaming(t *testing.T) {
+	const w, h = 96, 64
+	frames := detFrames(w, h, 4)
+
+	stream := func() []byte {
+		enc, err := NewEncoder(w, h, EncoderConfig{Quality: 45, GOP: 2, SearchWindow: 4, SkipThreshold: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := NewDecoder()
+		var got bytes.Buffer
+		lastRow := -1
+		dec.SetRowSink(func(row int, data []byte) {
+			if row != lastRow+1 {
+				t.Fatalf("row %d arrived after row %d", row, lastRow)
+			}
+			lastRow = row
+			got.Write(data) // sinks must copy: the buffer is pooled
+		})
+		for _, f := range frames {
+			pkt, _, err := enc.Encode(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dec.Decode(pkt); err != nil {
+				t.Fatal(err)
+			}
+			lastRow = -1
+		}
+		return got.Bytes()
+	}
+
+	defer par.SetWorkers(par.SetWorkers(1))
+	ref := stream()
+	par.SetWorkers(4)
+	if !bytes.Equal(stream(), ref) {
+		t.Fatal("row streaming differs between serial and parallel decode")
+	}
+}

@@ -2,6 +2,8 @@ package codec
 
 import (
 	"fmt"
+
+	"burstlink/internal/par"
 )
 
 // EncoderConfig tunes the encoder.
@@ -139,9 +141,37 @@ func (e *Encoder) EncodeAs(f *Frame, t FrameType) (Packet, EncodeStats, error) {
 
 	stats := EncodeStats{Type: t}
 	mbw, mbh := mbCount(e.w, e.h)
+
+	// Phase 1 (parallel): per-macroblock work that depends only on the
+	// source frame and the already-final reference frames — motion search,
+	// the skip test, the bidirectional SAD, and the transform/quant of the
+	// inter-hypothesis residual. Macroblock rows are independent here, so
+	// the rows fan out over the worker pool; because none of it reads the
+	// in-progress reconstruction, the results are identical to the serial
+	// encoder for any worker count.
+	var plans []mbPlan
+	if t != IFrame {
+		plans = getPlans(mbw * mbh)
+		defer putPlans(plans)
+		par.ForEachChunk(mbh, func(lo, hi int) {
+			for my := lo; my < hi; my++ {
+				for mx := 0; mx < mbw; mx++ {
+					e.planMB(f, fwd, bwd, t, mx*MBSize, my*MBSize, &plans[my*mbw+mx])
+				}
+			}
+		})
+	}
+
+	// Phase 2 (serial): mode decisions that involve the reconstruction
+	// (intra cost, intra prediction), entropy coding into the single
+	// bitstream, and the reconstruction writes, in raster order.
 	for my := 0; my < mbh; my++ {
 		for mx := 0; mx < mbw; mx++ {
-			e.encodeMB(&w, f, recon, fwd, bwd, t, mx*MBSize, my*MBSize, &stats)
+			var plan *mbPlan
+			if plans != nil {
+				plan = &plans[my*mbw+mx]
+			}
+			e.encodeMB(&w, f, recon, fwd, bwd, t, mx*MBSize, my*MBSize, plan, &stats)
 		}
 	}
 
@@ -165,16 +195,42 @@ func (e *Encoder) pushRef(f *Frame) {
 	}
 }
 
+// planMB computes the reference-only decision inputs for one macroblock:
+// motion search against the backward reference, the zero-vector skip
+// test, the bidirectional SAD (B-frames), and — when the macroblock
+// cannot be skip — the transformed, quantized, reconstructed residual of
+// the inter hypothesis. Everything here reads only src, fwd, and bwd,
+// which are immutable during the frame, so planMB is safe to run
+// concurrently across macroblocks.
+func (e *Encoder) planMB(src, fwd, bwd *Frame, t FrameType, px, py int, pl *mbPlan) {
+	pl.mv, pl.sad = searchMotion(src, bwd, px, py, e.cfg.SearchWindow)
+	pl.zeroSAD = sadMB(src, bwd, px, py, MotionVector{}, 1<<30)
+	pl.biSAD = 1 << 30
+	if t == BFrame {
+		pl.biSAD = sadBi(src, fwd, bwd, px, py, pl.mv, pl.mv, pl.sad)
+	}
+	pl.hasRes = false
+	if pl.zeroSAD > e.cfg.SkipThreshold {
+		// The macroblock will be inter or intra; precompute the inter
+		// residual so the serial pass only has to emit it.
+		mv := pl.mv
+		e.transformMB(src, px, py, func(p, x, y int) int32 {
+			return int32(bwd.At(p, x+mv.DX, y+mv.DY))
+		}, &pl.interRes)
+		pl.hasRes = true
+	}
+}
+
 // encodeMB chooses a mode for one macroblock, writes its syntax, and
-// reconstructs it into recon.
-func (e *Encoder) encodeMB(w *BitWriter, src, recon, fwd, bwd *Frame, t FrameType, px, py int, stats *EncodeStats) {
+// reconstructs it into recon. plan carries the phase-1 precomputation for
+// P/B frames (nil for I-frames).
+func (e *Encoder) encodeMB(w *BitWriter, src, recon, fwd, bwd *Frame, t FrameType, px, py int, plan *mbPlan, stats *EncodeStats) {
 	mode := mbIntra
 	var mv, mvB MotionVector
 
 	if t != IFrame {
-		ref := bwd // P predicts from the most recent reference
-		bestMV, bestSAD := searchMotion(src, ref, px, py, e.cfg.SearchWindow)
-		zeroSAD := sadMB(src, ref, px, py, MotionVector{}, 1<<30)
+		bestMV, bestSAD := plan.mv, plan.sad
+		zeroSAD := plan.zeroSAD
 		intraCost := intraSAD(src, recon, px, py)
 
 		switch {
@@ -188,7 +244,7 @@ func (e *Encoder) encodeMB(w *BitWriter, src, recon, fwd, bwd *Frame, t FrameTyp
 		if t == BFrame && mode == mbInter {
 			// Try bidirectional prediction with the same vector against
 			// both references; keep it if it beats unidirectional.
-			if bi := sadBi(src, fwd, bwd, px, py, bestMV, bestMV, bestSAD); bi < bestSAD {
+			if bi := plan.biSAD; bi < bestSAD {
 				mvB = bestMV
 				w.WriteUE(3) // bi mode
 				w.WriteSE(int64(mv.DX))
@@ -216,10 +272,10 @@ func (e *Encoder) encodeMB(w *BitWriter, src, recon, fwd, bwd *Frame, t FrameTyp
 		w.WriteUE(uint64(mbInter))
 		w.WriteSE(int64(mv.DX))
 		w.WriteSE(int64(mv.DY))
-		ref := bwd
-		e.codeResidual(w, src, recon, px, py, func(p, x, y int) int32 {
-			return int32(ref.At(p, x+mv.DX, y+mv.DY))
-		})
+		// The residual was transformed in phase 1 (mode can only be inter
+		// when the skip test failed, so hasRes is set); emit and blit it.
+		emitResidual(w, &plan.interRes)
+		blitRec(recon, px, py, &plan.interRes)
 		stats.InterMBs++
 	default:
 		w.WriteUE(uint64(mbIntra))
@@ -333,6 +389,19 @@ func intraSAD(src, recon *Frame, px, py int) int {
 
 // copyMB copies a displaced 16×16 block from ref into dst for all planes.
 func copyMB(dst, ref *Frame, px, py int, mv MotionVector) {
+	sx, sy := px+mv.DX, py+mv.DY
+	if px >= 0 && py >= 0 && px+MBSize <= dst.W && py+MBSize <= dst.H &&
+		sx >= 0 && sy >= 0 && sx+MBSize <= ref.W && sy+MBSize <= ref.H && dst.W == ref.W {
+		// Interior fast path (every skip macroblock away from the frame
+		// edge): straight row copies, no per-pixel clamping.
+		for p := 0; p < 3; p++ {
+			for y := 0; y < MBSize; y++ {
+				copy(dst.Planes[p][(py+y)*dst.W+px:(py+y)*dst.W+px+MBSize],
+					ref.Planes[p][(sy+y)*ref.W+sx:(sy+y)*ref.W+sx+MBSize])
+			}
+		}
+		return
+	}
 	for p := 0; p < 3; p++ {
 		for y := 0; y < MBSize; y++ {
 			for x := 0; x < MBSize; x++ {
@@ -346,7 +415,22 @@ func copyMB(dst, ref *Frame, px, py int, mv MotionVector) {
 // 2×2 grid of 8×8 blocks per plane of one macroblock. pred supplies the
 // prediction sample for (plane, x, y) in frame coordinates.
 func (e *Encoder) codeResidual(w *BitWriter, src, recon *Frame, px, py int, pred func(p, x, y int) int32) {
+	var mr mbResidual
+	e.transformMB(src, px, py, pred, &mr)
+	emitResidual(w, &mr)
+	blitRec(recon, px, py, &mr)
+}
+
+// transformMB computes the full transformed residual of one macroblock
+// for the given predictor: quantized coefficients in coding order and the
+// reconstruction exactly as the decoder will produce it. The predictor
+// must not read the in-progress reconstruction inside the macroblock
+// (every mode's predictor only references pixels left of px or above py,
+// or a reference frame), so deferring the reconstruction writes until
+// blitRec does not change any sample.
+func (e *Encoder) transformMB(src *Frame, px, py int, pred func(p, x, y int) int32, out *mbResidual) {
 	var res, coef [blockSize * blockSize]int32
+	bi := 0
 	for p := 0; p < 3; p++ {
 		for by := 0; by < MBSize; by += blockSize {
 			for bx := 0; bx < MBSize; bx += blockSize {
@@ -359,7 +443,7 @@ func (e *Encoder) codeResidual(w *BitWriter, src, recon *Frame, px, py int, pred
 				}
 				fdct8(&res, &coef)
 				quantize(&coef, &e.table)
-				writeCoeffs(w, &coef)
+				out.coef[bi] = coef
 				// Reconstruct exactly as the decoder will.
 				dequantize(&coef, &e.table)
 				idct8(&coef, &res)
@@ -367,10 +451,40 @@ func (e *Encoder) codeResidual(w *BitWriter, src, recon *Frame, px, py int, pred
 					for x := 0; x < blockSize; x++ {
 						fx, fy := px+bx+x, py+by+y
 						v := res[y*blockSize+x] + pred(p, fx, fy) - 128
-						recon.Set(p, fx, fy, clampByte(v))
+						out.rec[p][(by+y)*MBSize+bx+x] = clampByte(v)
 					}
 				}
+				bi++
 			}
+		}
+	}
+}
+
+// emitResidual entropy-codes a transformed macroblock's 12 blocks in
+// coding order.
+func emitResidual(w *BitWriter, mr *mbResidual) {
+	for bi := range mr.coef {
+		writeCoeffs(w, &mr.coef[bi])
+	}
+}
+
+// blitRec copies a macroblock reconstruction into the frame, dropping the
+// out-of-bounds tail of edge macroblocks (the same rule as Frame.Set).
+func blitRec(recon *Frame, px, py int, mr *mbResidual) {
+	w := MBSize
+	if px+w > recon.W {
+		w = recon.W - px
+	}
+	h := MBSize
+	if py+h > recon.H {
+		h = recon.H - py
+	}
+	if w <= 0 || h <= 0 {
+		return
+	}
+	for p := 0; p < 3; p++ {
+		for y := 0; y < h; y++ {
+			copy(recon.Planes[p][(py+y)*recon.W+px:(py+y)*recon.W+px+w], mr.rec[p][y*MBSize:y*MBSize+w])
 		}
 	}
 }

@@ -3,11 +3,47 @@ package codec
 // Motion estimation: a full search over a small window on the first plane
 // (luma-equivalent), as hardware encoders do in their coarse stage. The
 // resulting full-pel motion vector applies to all three planes.
+//
+// The SAD kernels are the encoder's innermost loop (window² evaluations
+// per macroblock), so they carry two optimizations: candidate blocks that
+// lie entirely inside both frames take a branch-light path that indexes
+// the plane rows directly instead of going through the per-pixel edge
+// clamping of Frame.At, and the early-out threshold is checked inside the
+// inner loop so a hopeless candidate stops at the offending pixel rather
+// than finishing its 16-pixel row. Both paths accumulate the same sums in
+// the same order, and an early-out return is only ever compared against
+// the threshold it exceeded, so motion decisions — and therefore
+// bitstreams — are unchanged.
 
 // sadMB returns the sum of absolute differences between the 16×16
 // macroblock of cur at (mx, my) and ref displaced by mv, with edge
-// clamping. earlyOut stops the scan once the running sum exceeds it.
+// clamping. earlyOut stops the scan once the running sum exceeds it; the
+// returned partial sum is then only meaningful as "greater than earlyOut".
 func sadMB(cur, ref *Frame, mx, my int, mv MotionVector, earlyOut int) int {
+	rx, ry := mx+mv.DX, my+mv.DY
+	if mx >= 0 && my >= 0 && mx+MBSize <= cur.W && my+MBSize <= cur.H &&
+		rx >= 0 && ry >= 0 && rx+MBSize <= ref.W && ry+MBSize <= ref.H {
+		// Interior fast path: both blocks are fully in bounds, so the
+		// rows can be sliced out once and scanned without clamping.
+		cp, rp := cur.Planes[0], ref.Planes[0]
+		sum := 0
+		for y := 0; y < MBSize; y++ {
+			crow := cp[(my+y)*cur.W+mx : (my+y)*cur.W+mx+MBSize]
+			rrow := rp[(ry+y)*ref.W+rx : (ry+y)*ref.W+rx+MBSize]
+			for x := 0; x < MBSize; x++ {
+				d := int(crow[x]) - int(rrow[x])
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+				if sum > earlyOut {
+					return sum
+				}
+			}
+		}
+		return sum
+	}
+	// Edge path: per-pixel clamping via Frame.At.
 	sum := 0
 	for y := 0; y < MBSize; y++ {
 		for x := 0; x < MBSize; x++ {
@@ -18,9 +54,9 @@ func sadMB(cur, ref *Frame, mx, my int, mv MotionVector, earlyOut int) int {
 				d = -d
 			}
 			sum += d
-		}
-		if sum > earlyOut {
-			return sum
+			if sum > earlyOut {
+				return sum
+			}
 		}
 	}
 	return sum

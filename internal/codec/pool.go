@@ -1,0 +1,93 @@
+package codec
+
+import "sync"
+
+// Scratch pooling for the hot per-frame allocations. The encoder needs a
+// macroblock-plan slice per frame (motion decisions plus the precomputed
+// inter-hypothesis residual), the decoder needs a parsed-macroblock slice,
+// and the row-streaming path needs a per-row pixel buffer. All of these
+// are frame-sized, short-lived, and allocated on every frame, so they are
+// recycled through sync.Pool instead of churning the GC — the allocation
+// half of the "burst the datapath, then idle" discipline.
+
+// mbBlocks is the number of 8×8 transform blocks in a macroblock across
+// all three planes (3 planes × 2×2 blocks).
+const mbBlocks = 3 * (MBSize / blockSize) * (MBSize / blockSize)
+
+// mbResidual is one macroblock's transformed residual: the quantized
+// coefficients in coding order (plane-major, then block row, then block
+// column) plus the resulting reconstruction in macroblock-local
+// coordinates.
+type mbResidual struct {
+	coef [mbBlocks][blockSize * blockSize]int32
+	rec  [3][MBSize * MBSize]byte
+}
+
+// mbPlan is the encoder's per-macroblock precomputation: everything about
+// the macroblock decision that depends only on the source frame and the
+// already-final reference frames, and is therefore safe to compute in
+// parallel before the serial bit-writing pass.
+type mbPlan struct {
+	mv      MotionVector // best full-search vector against the backward ref
+	sad     int          // its SAD
+	zeroSAD int          // SAD of the zero vector (skip test)
+	biSAD   int          // SAD of bidirectional prediction at mv (B-frames)
+	// interRes is the residual for the inter hypothesis (prediction from
+	// the backward reference at mv); valid only when hasRes is set (the
+	// macroblock cannot be coded as skip).
+	interRes mbResidual
+	hasRes   bool
+}
+
+// mbDec is the decoder's parsed form of one macroblock: syntax extracted
+// by the serial parse pass, reconstructed by the parallel pass. res holds
+// quantized coefficients after parsing; for intra macroblocks the parallel
+// pass replaces them in place with the spatial residual (post-IDCT), which
+// the serial intra pass then adds to the prediction.
+type mbDec struct {
+	mode   uint64
+	mvF    MotionVector // forward-ref vector (bi mode)
+	mvB    MotionVector // backward-ref vector (inter and bi modes)
+	imode  int          // intra prediction mode
+	res    [mbBlocks][blockSize * blockSize]int32
+	hasRes bool
+}
+
+var (
+	planPool   sync.Pool // *[]mbPlan
+	decPool    sync.Pool // *[]mbDec
+	rowBufPool sync.Pool // *[]byte
+)
+
+// getPlans returns a pooled plan slice of length n.
+func getPlans(n int) []mbPlan {
+	if p, ok := planPool.Get().(*[]mbPlan); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]mbPlan, n)
+}
+
+// putPlans recycles a plan slice.
+func putPlans(p []mbPlan) { planPool.Put(&p) }
+
+// getDecPlans returns a pooled parsed-macroblock slice of length n.
+func getDecPlans(n int) []mbDec {
+	if p, ok := decPool.Get().(*[]mbDec); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]mbDec, n)
+}
+
+// putDecPlans recycles a parsed-macroblock slice.
+func putDecPlans(p []mbDec) { decPool.Put(&p) }
+
+// getRowBuf returns a pooled byte buffer of length n.
+func getRowBuf(n int) []byte {
+	if b, ok := rowBufPool.Get().(*[]byte); ok && cap(*b) >= n {
+		return (*b)[:n]
+	}
+	return make([]byte, n)
+}
+
+// putRowBuf recycles a row buffer.
+func putRowBuf(b []byte) { rowBufPool.Put(&b) }

@@ -1,0 +1,30 @@
+package display
+
+import "sync"
+
+// Pixel-buffer pool for bounded-lifetime interleaved frames: checksum
+// verification and other scratch uses pack a codec frame, consume the
+// bytes, and return the buffer. Frames handed to a FrameStore must NOT
+// use pooled buffers — RFB/DRFB banks retain the slice across refreshes.
+
+var bufPool sync.Pool
+
+// GetBuf returns a pixel buffer with at least n bytes of capacity,
+// sliced to length n. Contents are unspecified.
+func GetBuf(n int) []byte {
+	if v := bufPool.Get(); v != nil {
+		if b := v.([]byte); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// PutBuf returns a buffer to the pool. The caller must not touch it
+// afterwards.
+func PutBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	bufPool.Put(b[:cap(b)]) //nolint:staticcheck // slice headers are fine to pool
+}

@@ -1,0 +1,32 @@
+package display
+
+import "testing"
+
+func TestBufPoolReuse(t *testing.T) {
+	b := GetBuf(64)
+	if len(b) != 64 {
+		t.Fatalf("GetBuf(64) length %d", len(b))
+	}
+	for i := range b {
+		b[i] = byte(i)
+	}
+	PutBuf(b)
+	// A smaller request may reuse the same backing array; either way the
+	// slice must have the requested length and full capacity available.
+	c := GetBuf(16)
+	if len(c) != 16 {
+		t.Fatalf("GetBuf(16) length %d", len(c))
+	}
+	PutBuf(c)
+	if d := GetBuf(128); len(d) != 128 {
+		t.Fatalf("GetBuf(128) length %d", len(d))
+	}
+}
+
+func TestPutBufEmptyIsNoop(t *testing.T) {
+	PutBuf(nil)
+	PutBuf([]byte{})
+	if b := GetBuf(8); len(b) != 8 {
+		t.Fatalf("GetBuf(8) after empty puts: length %d", len(b))
+	}
+}

@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"fmt"
+
+	"burstlink/internal/par"
+)
+
+// RunAll executes the given experiments on the worker pool and returns
+// their tables in registry order, exactly as a serial loop over e.Run()
+// would. Every driver is a pure function of init-time tables (the power
+// model, workload definitions, and codec constants are all read-only
+// after package init), so drivers run concurrently without shared state.
+//
+// All experiments run to completion even when one fails; the first error
+// in registry order is returned, wrapped with its experiment ID to match
+// the serial loop's reporting.
+func RunAll(exps []Experiment) ([]Table, error) {
+	type result struct {
+		tab Table
+		err error
+	}
+	results := par.Map(len(exps), func(i int) result {
+		tab, err := exps[i].Run()
+		return result{tab, err}
+	})
+	tables := make([]Table, len(results))
+	for i, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("%s: %w", exps[i].ID, r.err)
+		}
+		tables[i] = r.tab
+	}
+	return tables, nil
+}

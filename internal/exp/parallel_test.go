@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"burstlink/internal/par"
+)
+
+// TestRunAllMatchesSerial pins that the concurrent sweep produces the
+// same tables in the same order as running each driver serially.
+func TestRunAllMatchesSerial(t *testing.T) {
+	exps := Registry()
+
+	defer par.SetWorkers(par.SetWorkers(1))
+	want := make([]Table, len(exps))
+	for i, e := range exps {
+		tab, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		want[i] = tab
+	}
+
+	par.SetWorkers(4)
+	got, err := RunAll(exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("RunAll returned %d tables, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("%s: concurrent table differs from serial run", exps[i].ID)
+		}
+	}
+}
+
+// TestRunAllFirstErrorWins pins the error contract: the earliest failing
+// experiment in registry order is reported, wrapped with its ID, even
+// when a later experiment also fails.
+func TestRunAllFirstErrorWins(t *testing.T) {
+	first := errors.New("first failure")
+	exps := []Experiment{
+		{ID: "ok", Run: func() (Table, error) { return Table{ID: "ok"}, nil }},
+		{ID: "bad1", Run: func() (Table, error) { return Table{}, first }},
+		{ID: "bad2", Run: func() (Table, error) { return Table{}, errors.New("second failure") }},
+	}
+	_, err := RunAll(exps)
+	if err == nil {
+		t.Fatal("RunAll returned nil error")
+	}
+	if !errors.Is(err, first) {
+		t.Fatalf("RunAll error = %v, want wrapped %v", err, first)
+	}
+	if want := fmt.Sprintf("bad1: %v", first); err.Error() != want {
+		t.Fatalf("RunAll error = %q, want %q", err.Error(), want)
+	}
+}

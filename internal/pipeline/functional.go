@@ -99,13 +99,18 @@ func SyntheticVideo(cfg FunctionalConfig) ([]codec.Packet, []uint32, error) {
 	}
 	record(tail)
 	ref := codec.NewDecoder()
+	// The interleaved pixels only live long enough to be checksummed, so
+	// one pooled buffer serves every frame.
+	buf := display.GetBuf(3 * cfg.Width * cfg.Height)
+	defer func() { display.PutBuf(buf) }()
 	for _, pkt := range packets {
 		fr, err := ref.Decode(pkt)
 		if err != nil {
 			return nil, nil, err
 		}
 		if fr.Seq >= 0 && fr.Seq < cfg.Frames {
-			sums[fr.Seq] = display.Frame{Seq: fr.Seq, Data: fr.Interleaved()}.Checksum()
+			buf = fr.InterleavedInto(buf)
+			sums[fr.Seq] = display.Frame{Seq: fr.Seq, Data: buf}.Checksum()
 		}
 	}
 	return packets, sums, nil

@@ -2,8 +2,10 @@ package vr
 
 import (
 	"testing"
+	"time"
 
 	"burstlink/internal/codec"
+	"burstlink/internal/par"
 	"burstlink/internal/units"
 )
 
@@ -21,6 +23,38 @@ func BenchmarkProject(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pr.Project(src, tr(float64(i)/60))
+	}
+}
+
+// BenchmarkProjectParallel renders an HMD-scale per-eye viewport from a
+// 4K equirectangular source and reports the worker-pool speedup over the
+// serial projector (speedup_x ≈ 1 on a single-core machine).
+func BenchmarkProjectParallel(b *testing.B) {
+	src := codec.NewFrame(3840, 1920)
+	for p := range src.Planes {
+		for i := range src.Planes[p] {
+			src.Planes[p][i] = byte(i*7 + p)
+		}
+	}
+	pr, err := NewProjector(units.Resolution{Width: 1440, Height: 1600}, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _ := Rollercoaster.Trace()
+	b.SetBytes(int64(1440 * 1600 * 3))
+
+	defer par.SetWorkers(par.SetWorkers(1))
+	start := time.Now()
+	pr.Project(src, tr(0))
+	serial := time.Since(start)
+	par.SetWorkers(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.Project(src, tr(float64(i)/60))
+	}
+	b.StopTimer()
+	if per := b.Elapsed() / time.Duration(b.N); per > 0 {
+		b.ReportMetric(float64(serial)/float64(per), "speedup_x")
 	}
 }
 

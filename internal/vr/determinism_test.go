@@ -1,0 +1,86 @@
+package vr
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"burstlink/internal/par"
+	"burstlink/internal/units"
+)
+
+// The VR stage's parallel kernels must be bit-identical to their serial
+// (par.SetWorkers(1)) forms: projection fans scanlines out over the
+// worker pool without touching per-pixel arithmetic, tile selection fans
+// rows out, and MeanFetchFraction preserves the serial timestamp
+// accumulation and summation order.
+
+func TestParallelProjectDeterminism(t *testing.T) {
+	src := sphereFrame(512, 256)
+	pr, err := NewProjector(units.Resolution{Width: 160, Height: 120}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poses := []HeadPose{
+		{},
+		{Yaw: 1.2, Pitch: -0.4},
+		{Yaw: -2.9, Pitch: 0.9, Roll: 0.5},
+	}
+
+	defer par.SetWorkers(par.SetWorkers(1))
+	var refs [][3][]byte
+	for _, pose := range poses {
+		f := pr.Project(src, pose)
+		refs = append(refs, [3][]byte{f.Planes[0], f.Planes[1], f.Planes[2]})
+	}
+
+	for _, workers := range []int{2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			par.SetWorkers(workers)
+			defer par.SetWorkers(1)
+			for i, pose := range poses {
+				f := pr.Project(src, pose)
+				for p := 0; p < 3; p++ {
+					if !bytes.Equal(f.Planes[p], refs[i][p]) {
+						t.Fatalf("pose %d plane %d differs from serial projection", i, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestParallelTileDeterminism(t *testing.T) {
+	g, err := NewTileGrid(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Rollercoaster.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer par.SetWorkers(par.SetWorkers(1))
+	refVis := g.Visible(tr(1.5), 100, 15)
+	refMean := g.MeanFetchFraction(tr, 100, 15, 3)
+
+	for _, workers := range []int{2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			par.SetWorkers(workers)
+			defer par.SetWorkers(1)
+			vis := g.Visible(tr(1.5), 100, 15)
+			for i := range vis {
+				if vis[i] != refVis[i] {
+					t.Fatalf("tile %d visibility differs from serial selection", i)
+				}
+			}
+			// Bit-identical, not approximately equal: the summation order
+			// is pinned.
+			if mean := g.MeanFetchFraction(tr, 100, 15, 3); mean != refMean {
+				t.Fatalf("mean fetch fraction %v differs from serial %v (delta %g)",
+					mean, refMean, math.Abs(mean-refMean))
+			}
+		})
+	}
+}

@@ -3,6 +3,8 @@ package vr
 import (
 	"fmt"
 	"math"
+
+	"burstlink/internal/par"
 )
 
 // Tile-based viewport-adaptive streaming, the optimization class of the
@@ -48,24 +50,28 @@ func (g TileGrid) Visible(pose HeadPose, fovDeg, marginDeg float64) []bool {
 	vx := math.Sin(pose.Yaw) * math.Cos(pose.Pitch)
 	vy := math.Sin(pose.Pitch)
 	vz := math.Cos(pose.Yaw) * math.Cos(pose.Pitch)
-	for r := 0; r < g.Rows; r++ {
-		for c := 0; c < g.Cols; c++ {
-			lon, lat := g.tileCenter(c, r)
-			tx := math.Sin(lon) * math.Cos(lat)
-			ty := math.Sin(lat)
-			tz := math.Cos(lon) * math.Cos(lat)
-			// Angle between view direction and tile center.
-			dot := vx*tx + vy*ty + vz*tz
-			if dot > 1 {
-				dot = 1
-			} else if dot < -1 {
-				dot = -1
-			}
-			if math.Acos(dot) <= half {
-				out[r*g.Cols+c] = true
+	// Tile rows are independent and write disjoint slices of out, so they
+	// fan out over the worker pool.
+	par.ForEachChunk(g.Rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			for c := 0; c < g.Cols; c++ {
+				lon, lat := g.tileCenter(c, r)
+				tx := math.Sin(lon) * math.Cos(lat)
+				ty := math.Sin(lat)
+				tz := math.Cos(lon) * math.Cos(lat)
+				// Angle between view direction and tile center.
+				dot := vx*tx + vy*ty + vz*tz
+				if dot > 1 {
+					dot = 1
+				} else if dot < -1 {
+					dot = -1
+				}
+				if math.Acos(dot) <= half {
+					out[r*g.Cols+c] = true
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -85,16 +91,26 @@ func (g TileGrid) VisibleFraction(pose HeadPose, fovDeg, marginDeg float64) floa
 // MeanFetchFraction averages the visible fraction over a head trajectory
 // sampled at 60 Hz for dur seconds — the bandwidth/decode scaling factor
 // of a tile-adaptive VR streamer on that workload.
+//
+// The per-sample fractions are computed on the worker pool, but the
+// timestamps come from the same serial ts += dt accumulation as before
+// and the fractions are summed serially in sample order, so the result
+// is bit-identical to the serial loop for any worker count.
 func (g TileGrid) MeanFetchFraction(tr Trajectory, fovDeg, marginDeg, dur float64) float64 {
 	const dt = 1.0 / 60
-	var sum float64
-	n := 0
+	var stamps []float64
 	for ts := 0.0; ts < dur; ts += dt {
-		sum += g.VisibleFraction(tr(ts), fovDeg, marginDeg)
-		n++
+		stamps = append(stamps, ts)
 	}
-	if n == 0 {
+	if len(stamps) == 0 {
 		return 1
 	}
-	return sum / float64(n)
+	fractions := par.Map(len(stamps), func(i int) float64 {
+		return g.VisibleFraction(tr(stamps[i]), fovDeg, marginDeg)
+	})
+	var sum float64
+	for _, f := range fractions {
+		sum += f
+	}
+	return sum / float64(len(fractions))
 }

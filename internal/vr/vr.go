@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"burstlink/internal/codec"
+	"burstlink/internal/par"
 	"burstlink/internal/units"
 )
 
@@ -52,6 +53,11 @@ func (pr *Projector) PixelsProjected() int64 { return pr.pixels }
 // Project renders the viewport for the given pose by sampling the
 // equirectangular source with bilinear interpolation. The source should be
 // 2:1 (full sphere) but any aspect is accepted.
+//
+// Scanlines are independent — each pixel's ray depends only on its own
+// coordinates and the pose, and writes land in disjoint rows of out — so
+// they fan out over the worker pool. Per-pixel arithmetic is untouched,
+// so the rendered viewport is bit-identical for any worker count.
 func (pr *Projector) Project(src *codec.Frame, pose HeadPose) *codec.Frame {
 	w, h := pr.viewport.Width, pr.viewport.Height
 	out := codec.NewFrame(w, h)
@@ -65,29 +71,31 @@ func (pr *Projector) Project(src *codec.Frame, pose HeadPose) *codec.Frame {
 	sinPitch, cosPitch := math.Sin(pose.Pitch), math.Cos(pose.Pitch)
 	sinRoll, cosRoll := math.Sin(pose.Roll), math.Cos(pose.Roll)
 
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			// Ray through the pixel in camera space (z forward, x right,
-			// y up).
-			vx := (float64(x) - cx + 0.5) / fy
-			vy := -(float64(y) - cy + 0.5) / fy
-			vz := 1.0
+	par.ForEachChunk(h, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < w; x++ {
+				// Ray through the pixel in camera space (z forward, x right,
+				// y up).
+				vx := (float64(x) - cx + 0.5) / fy
+				vy := -(float64(y) - cy + 0.5) / fy
+				vz := 1.0
 
-			// Roll about z.
-			vx, vy = vx*cosRoll-vy*sinRoll, vx*sinRoll+vy*cosRoll
-			// Pitch about x: positive pitch tilts the forward axis up.
-			vy, vz = vy*cosPitch+vz*sinPitch, -vy*sinPitch+vz*cosPitch
-			// Yaw about y.
-			vx, vz = vx*cosYaw+vz*sinYaw, -vx*sinYaw+vz*cosYaw
+				// Roll about z.
+				vx, vy = vx*cosRoll-vy*sinRoll, vx*sinRoll+vy*cosRoll
+				// Pitch about x: positive pitch tilts the forward axis up.
+				vy, vz = vy*cosPitch+vz*sinPitch, -vy*sinPitch+vz*cosPitch
+				// Yaw about y.
+				vx, vz = vx*cosYaw+vz*sinYaw, -vx*sinYaw+vz*cosYaw
 
-			// Spherical coordinates → equirect texel.
-			lon := math.Atan2(vx, vz)                   // [-pi, pi]
-			lat := math.Atan2(vy, math.Hypot(vx, vz))   // [-pi/2, pi/2]
-			u := (lon/math.Pi + 1) / 2 * float64(src.W) // [0, W)
-			v := (0.5 - lat/math.Pi) * float64(src.H)   // [0, H)
-			sampleBilinear(src, out, x, y, u-0.5, v-0.5)
+				// Spherical coordinates → equirect texel.
+				lon := math.Atan2(vx, vz)                   // [-pi, pi]
+				lat := math.Atan2(vy, math.Hypot(vx, vz))   // [-pi/2, pi/2]
+				u := (lon/math.Pi + 1) / 2 * float64(src.W) // [0, W)
+				v := (0.5 - lat/math.Pi) * float64(src.H)   // [0, H)
+				sampleBilinear(src, out, x, y, u-0.5, v-0.5)
+			}
 		}
-	}
+	})
 	pr.pixels += int64(w * h)
 	return out
 }
