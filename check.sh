@@ -1,6 +1,7 @@
 #!/bin/sh
-# Repository check: tier-1 build+test, race detector, vet, formatting.
-# See README.md "Testing & verification".
+# Repository check: tier-1 build+test, race detector, vet, formatting
+# (simplify mode), domain static analysis (blklint), and fuzz smoke.
+# See README.md "Testing & verification" and "Static analysis".
 set -e
 
 cd "$(dirname "$0")"
@@ -17,12 +18,19 @@ go test -race ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== gofmt -l ."
-fmt=$(gofmt -l .)
+echo "== gofmt -s -l ."
+fmt=$(gofmt -s -l .)
 if [ -n "$fmt" ]; then
-    echo "gofmt: these files need formatting:" >&2
+    echo "gofmt -s: these files need formatting/simplification:" >&2
     echo "$fmt" >&2
     exit 1
 fi
+
+echo "== blklint ./..."
+go run ./cmd/blklint ./...
+
+echo "== fuzz smoke (5s each)"
+go test -run='^$' -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=5s ./internal/codec
+go test -run='^$' -fuzz=FuzzResolutionFrameSize -fuzztime=5s ./internal/units
 
 echo "all checks passed"

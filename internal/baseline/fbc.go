@@ -20,6 +20,8 @@ import (
 // encodes each row as DPCM residuals with zero-run elision. It returns the
 // compressed size; callers derive the achieved ratio. It exists to ground
 // the FBC model's compression rates in actual pixel data.
+//
+//lint:ignore unitcheck rowBytes is a slice stride consumed directly by indexing; ByteSize would force conversions in the hot loop
 func CompressRLE(data []byte, rowBytes int) int {
 	if rowBytes <= 0 || len(data) == 0 {
 		return len(data)

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"burstlink/internal/units"
 )
 
 // A minimal stream container so encoded video can be persisted and
@@ -22,7 +24,7 @@ type StreamWriter struct {
 	w       io.Writer
 	started bool
 	packets int
-	bytes   int64
+	bytes   units.ByteSize
 }
 
 // NewStreamWriter wraps w.
@@ -35,7 +37,7 @@ func (sw *StreamWriter) WritePacket(p Packet) error {
 			return err
 		}
 		sw.started = true
-		sw.bytes += int64(len(streamMagic))
+		sw.bytes += units.ByteSize(len(streamMagic))
 	}
 	var hdr [3 * binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(p.Type))
@@ -48,7 +50,7 @@ func (sw *StreamWriter) WritePacket(p Packet) error {
 		return err
 	}
 	sw.packets++
-	sw.bytes += int64(n + len(p.Data))
+	sw.bytes += units.ByteSize(n + len(p.Data))
 	return nil
 }
 
@@ -56,7 +58,7 @@ func (sw *StreamWriter) WritePacket(p Packet) error {
 func (sw *StreamWriter) Packets() int { return sw.packets }
 
 // BytesWritten returns the container size so far.
-func (sw *StreamWriter) BytesWritten() int64 { return sw.bytes }
+func (sw *StreamWriter) BytesWritten() units.ByteSize { return sw.bytes }
 
 // StreamReader deserializes packets from an io.Reader.
 type StreamReader struct {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"io"
 	"testing"
+
+	"burstlink/internal/units"
 )
 
 func TestContainerRoundTrip(t *testing.T) {
@@ -27,7 +29,7 @@ func TestContainerRoundTrip(t *testing.T) {
 	if sw.Packets() != 6 {
 		t.Fatalf("packets = %d", sw.Packets())
 	}
-	if sw.BytesWritten() != int64(buf.Len()) {
+	if sw.BytesWritten() != units.ByteSize(buf.Len()) {
 		t.Fatalf("byte accounting %d vs %d", sw.BytesWritten(), buf.Len())
 	}
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"burstlink/internal/par"
+	"burstlink/internal/units"
 )
 
 // EncoderConfig tunes the encoder.
@@ -30,7 +31,7 @@ func DefaultEncoderConfig() EncoderConfig {
 // EncodeStats summarizes one encoded frame.
 type EncodeStats struct {
 	Type                     FrameType
-	Bytes                    int
+	Bytes                    units.ByteSize
 	IntraMBs, InterMBs, Skip int
 }
 
@@ -179,7 +180,7 @@ func (e *Encoder) EncodeAs(f *Frame, t FrameType) (Packet, EncodeStats, error) {
 		deblockFrame(recon, e.cfg.Quality)
 	}
 	data := w.Bytes()
-	stats.Bytes = len(data)
+	stats.Bytes = units.ByteSize(len(data))
 	e.lastRecon = recon
 	if t != BFrame {
 		e.pushRef(recon)

@@ -42,8 +42,8 @@ func (rc *RateController) TargetFrameBytes() units.ByteSize { return rc.target }
 
 // Observe feeds back the size of the frame just encoded and adapts the
 // quality for the next one.
-func (rc *RateController) Observe(packetBytes int) {
-	rc.produced += units.ByteSize(packetBytes)
+func (rc *RateController) Observe(packetBytes units.ByteSize) {
+	rc.produced += packetBytes
 	rc.frames++
 	ratio := float64(packetBytes) / float64(rc.target)
 	switch {
@@ -109,7 +109,7 @@ func (r *RateControlledEncoder) Encode(f *Frame) (Packet, EncodeStats, error) {
 	if err != nil {
 		return pkt, stats, err
 	}
-	r.rc.Observe(pkt.Size())
+	r.rc.Observe(units.ByteSize(pkt.Size()))
 	return pkt, stats, nil
 }
 

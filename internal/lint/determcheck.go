@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetermCheck enforces bit-reproducibility in simulator packages: the
+// whole validation story of the power model (EXPERIMENTS.md) rests on a
+// timeline being a pure function of the scenario, so wall-clock reads,
+// the global math/rand source, and order-dependent float accumulation
+// over map iteration are all forbidden.
+var DetermCheck = &Analyzer{
+	Name: "determcheck",
+	Doc:  "forbid wall-clock reads, global math/rand, and float accumulation over map iteration in simulator packages",
+	Scope: func(pkgPath string) bool {
+		return isInternal(pkgPath)
+	},
+	Run: runDetermCheck,
+}
+
+// isInternal reports whether pkgPath is simulator code (under internal/).
+func isInternal(pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, "internal/") || strings.Contains(pkgPath, "/internal/")
+}
+
+// wallClockFuncs are time-package functions that read the wall clock —
+// time.Since and time.Until call time.Now internally.
+var wallClockFuncs = map[string]string{
+	"Now":   "time.Now reads the wall clock",
+	"Since": "time.Since reads the wall clock via time.Now",
+	"Until": "time.Until reads the wall clock via time.Now",
+}
+
+// globalRandExceptions are math/rand package-level functions that do NOT
+// draw from the global source (constructors the deterministic pattern
+// rand.New(rand.NewSource(seed)) is built from).
+var globalRandExceptions = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDetermCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pkgName, obj := resolvePkgFunc(pass, n)
+				switch pkgName {
+				case "time":
+					if why, ok := wallClockFuncs[obj]; ok {
+						pass.Reportf(n.Pos(), "%s; simulator timelines must be pure functions of their inputs — thread time.Duration offsets through the scenario instead", why)
+					}
+				case "math/rand", "math/rand/v2":
+					if !globalRandExceptions[obj] {
+						pass.Reportf(n.Pos(), "math/rand.%s draws from the global (unseeded) source; use rand.New(rand.NewSource(seed)) threaded through the scenario", obj)
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapFloatAccum(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// resolvePkgFunc returns (importPath, name) when sel is a selection of a
+// package-level object, e.g. time.Now -> ("time", "Now").
+func resolvePkgFunc(pass *Pass, sel *ast.SelectorExpr) (string, string) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name
+}
+
+// checkMapFloatAccum flags floating-point accumulation inside a range
+// over a map: iteration order is randomized, and float addition is not
+// associative, so the sum differs run to run in the low bits.
+func checkMapFloatAccum(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if !isFloatAccum(pass, rng, as) {
+			return true
+		}
+		pass.Reportf(as.Pos(), "float accumulation inside range over a map is order-dependent and nondeterministic; collect the keys, sort them, then accumulate")
+		return true
+	})
+}
+
+// isFloatAccum reports whether as is `x += v` / `x -= v` (or
+// `x = x + v` / `x = x - v`) with a floating-point x declared OUTSIDE the
+// range statement. An accumulator declared inside the loop body restarts
+// each iteration, and a per-key bin like out[k] += v sums in the order of
+// the enclosing (deterministic) control flow, so neither depends on map
+// iteration order.
+func isFloatAccum(pass *Pass, rng *ast.RangeStmt, as *ast.AssignStmt) bool {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil || (obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()) {
+		return false
+	}
+	if !isFloat(pass.TypesInfo.TypeOf(as.Lhs[0])) {
+		return false
+	}
+	switch as.Tok.String() {
+	case "+=", "-=":
+		return true
+	case "=":
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok || (bin.Op.String() != "+" && bin.Op.String() != "-") {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		x, ok := bin.X.(*ast.Ident)
+		return ok && x.Name == lhs.Name
+	}
+	return false
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

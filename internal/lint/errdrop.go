@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags discarded error returns in simulator code: a call whose
+// final error result is silently dropped as a bare statement (or behind
+// defer/go). In an analytical model, a swallowed error is a number that
+// is quietly wrong — a truncated trace export or an unparseable bitstream
+// must fail the run, not skew it.
+//
+// Writes into in-memory sinks that are documented never to fail
+// (*bytes.Buffer, *strings.Builder, and fmt.Fprint* into them) are
+// exempt; anything else needs handling, an explicit `_ =` with a
+// comment, or a //lint:ignore errdrop directive.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag discarded error returns in non-test internal packages",
+	Scope: func(pkgPath string) bool {
+		return isInternal(pkgPath)
+	},
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil || !returnsError(pass, call) || isInfallibleSink(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result of %s is discarded; handle it (or //lint:ignore errdrop <reason>)", callName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's last result is of type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// isInfallibleSink exempts calls whose error contract is "always nil":
+// fmt.Fprint* with a *bytes.Buffer or *strings.Builder destination, and
+// Write/WriteString/WriteByte/... methods on those two types.
+func isInfallibleSink(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pkg, name := resolvePkgFunc(pass, sel); pkg == "fmt" {
+		switch name {
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 && isInMemoryWriter(pass.TypesInfo.TypeOf(call.Args[0])) {
+				return true
+			}
+		}
+		return false
+	}
+	// Method call on an in-memory writer.
+	return isInMemoryWriter(pass.TypesInfo.TypeOf(sel.X))
+}
+
+// isInMemoryWriter reports whether t is (a pointer to) bytes.Buffer or
+// strings.Builder.
+func isInMemoryWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+// callName renders a short name for the called function.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,33 @@
+package lint
+
+// JSONFinding is the machine-readable form of one finding — the schema
+// blklint -json emits and the golden test pins.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// JSONReport is the top-level -json document.
+type JSONReport struct {
+	Count    int           `json:"count"`
+	Findings []JSONFinding `json:"findings"`
+}
+
+// Report converts findings to the stable JSON schema. Findings is always
+// a non-nil array so consumers can range without a null check.
+func Report(fs []Finding) JSONReport {
+	out := JSONReport{Count: len(fs), Findings: make([]JSONFinding, 0, len(fs))}
+	for _, f := range fs {
+		out.Findings = append(out.Findings, JSONFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// loadFixture parses and type-checks one testdata/src package under a
+// synthetic import path that satisfies the analyzers' Scope functions.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir(dir, "burstlink/internal/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s type error: %v", name, terr)
+	}
+	return pkg
+}
+
+// wantRE pulls the quoted regexps out of a `// want "..." "..."` comment.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one unmatched // want entry.
+type expectation struct {
+	line int
+	re   *regexp.Regexp
+}
+
+// wantsOf collects the // want expectations of a fixture package.
+func wantsOf(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, q := range wantRE.FindAllString(rest, -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("bad want pattern %s: %v", q, err)
+					}
+					wants = append(wants, &expectation{line: line, re: regexp.MustCompile(pat)})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs RunAnalyzers (Scope and suppressions included) on the
+// fixture and asserts the findings match the // want comments exactly.
+func checkFixture(t *testing.T, name string, analyzers []*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	findings := RunAnalyzers([]*Package{pkg}, analyzers)
+	wants := wantsOf(t, pkg)
+
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		found := false
+		for i, w := range wants {
+			if !matched[i] && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding %s:%d: %s: %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Analyzer, f.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing finding at line %d matching %q", w.line, w.re)
+		}
+	}
+}
+
+func TestDetermCheckFixture(t *testing.T) {
+	checkFixture(t, "determfix", []*Analyzer{DetermCheck})
+}
+
+func TestUnitCheckFixture(t *testing.T) {
+	checkFixture(t, "unitfix", []*Analyzer{UnitCheck})
+}
+
+func TestParCheckFixture(t *testing.T) {
+	checkFixture(t, "parfix", []*Analyzer{ParCheck})
+}
+
+func TestPoolCheckFixture(t *testing.T) {
+	checkFixture(t, "poolfix", []*Analyzer{PoolCheck})
+}
+
+func TestErrDropFixture(t *testing.T) {
+	checkFixture(t, "errdropfix", []*Analyzer{ErrDrop})
+}
+
+// TestIgnoreDirectives drives the full pipeline over the ignorefix
+// package: three suppressed sites must vanish, and the malformed or
+// mis-targeted directives must leave their findings standing.
+func TestIgnoreDirectives(t *testing.T) {
+	checkFixture(t, "ignorefix", []*Analyzer{DetermCheck})
+
+	// Without suppression the package has 5 findings; with it, 2.
+	pkg := loadFixture(t, "ignorefix")
+	var raw []Finding
+	pass := &Pass{Analyzer: DetermCheck, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, TypesInfo: pkg.Info, PkgPath: pkg.PkgPath, findings: &raw}
+	DetermCheck.Run(pass)
+	if len(raw) != 5 {
+		t.Fatalf("raw findings = %d, want 5", len(raw))
+	}
+	if got := Suppress(raw, []*Package{pkg}); len(got) != 2 {
+		t.Fatalf("suppressed findings = %d, want 2", len(got))
+	}
+}
+
+// TestJSONGolden pins the -json schema against testdata/golden.json.
+// Set UPDATE_GOLDEN=1 to regenerate.
+func TestJSONGolden(t *testing.T) {
+	pkg := loadFixture(t, "jsonfix")
+	findings := RunAnalyzers([]*Package{pkg}, All())
+	for i := range findings {
+		findings[i].Pos.Filename = filepath.ToSlash(filepath.Base(findings[i].Pos.Filename))
+	}
+	got, err := json.MarshalIndent(Report(findings), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("-json output drifted from golden file:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestReportEmpty pins the zero-finding JSON shape: findings must be an
+// empty array, never null.
+func TestReportEmpty(t *testing.T) {
+	b, err := json.Marshal(Report(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(b), `{"count":0,"findings":[]}`; got != want {
+		t.Errorf("empty report = %s, want %s", got, want)
+	}
+}
+
+// TestScopes verifies each analyzer's package scoping: where the
+// simulator invariants apply and where they deliberately do not.
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		pkgPath  string
+		want     bool
+	}{
+		{DetermCheck, "burstlink/internal/codec", true},
+		{DetermCheck, "burstlink/cmd/blkv", false},
+		{UnitCheck, "burstlink/internal/vd", true},
+		{UnitCheck, "burstlink/internal/units", false},
+		{ParCheck, "burstlink/internal/par", false},
+		{ParCheck, "burstlink/internal/exp", true},
+		{ParCheck, "burstlink/cmd/burstlink", true},
+		{ErrDrop, "burstlink/internal/trace", true},
+		{ErrDrop, "burstlink/cmd/blkv", false},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.Scope(c.pkgPath); got != c.want {
+			t.Errorf("%s.Scope(%s) = %v, want %v", c.analyzer.Name, c.pkgPath, got, c.want)
+		}
+	}
+	if PoolCheck.Scope != nil {
+		t.Error("poolcheck should apply everywhere (nil Scope)")
+	}
+}
+
+// TestLoadModule smoke-tests the module loader against the real tree:
+// pattern expansion, import-path mapping, and type-checking through the
+// module-internal importer.
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module load compiles dependencies from source")
+	}
+	pkgs, err := Load(".", []string{"./internal/par", "./internal/units"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			t.Errorf("%s: type errors: %v", pkg.PkgPath, pkg.TypeErrors)
+		}
+	}
+	findings := RunAnalyzers(pkgs, All())
+	if len(findings) != 0 {
+		t.Errorf("par+units should lint clean, got %d findings", len(findings))
+	}
+}

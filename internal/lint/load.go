@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// TypeErrors holds non-fatal type-check problems; analyses still run
+	// on whatever was resolved.
+	TypeErrors []error
+}
+
+// loader parses and type-checks module packages on demand, resolving
+// module-internal imports from source and delegating everything else
+// (the standard library) to the stdlib source importer.
+type loader struct {
+	fset     *token.FileSet
+	modRoot  string
+	modPath  string
+	dirs     map[string]string // import path -> directory
+	loaded   map[string]*Package
+	loading  map[string]bool // cycle guard
+	fallback types.Importer
+}
+
+// FindModuleRoot walks up from dir to the nearest go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod.
+func modulePath(modRoot string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", modRoot)
+}
+
+// Load parses and type-checks the packages selected by patterns, rooted
+// at the module containing dir. Patterns are "./..." (every package in
+// the module) or directory paths relative to the module root, optionally
+// ending in "/...". Test files and testdata directories are skipped: the
+// analyzers guard simulator code, and tests legitimately use wall clocks
+// and raw goroutines.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	modRoot, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader(modRoot, modPath)
+	if err := ld.discover(); err != nil {
+		return nil, err
+	}
+	want, err := ld.match(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, path := range want {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: loading %s: %w", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir, outside any
+// module mapping — the entry point the fixture tests use. Imports that
+// are not resolvable from source are reported as type errors.
+func LoadDir(dir string, pkgPath string) (*Package, error) {
+	ld := newLoader(dir, pkgPath)
+	ld.dirs[pkgPath] = dir
+	return ld.load(pkgPath)
+}
+
+func newLoader(modRoot, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:     fset,
+		modRoot:  modRoot,
+		modPath:  modPath,
+		dirs:     make(map[string]string),
+		loaded:   make(map[string]*Package),
+		loading:  make(map[string]bool),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// discover maps every package directory in the module to its import path.
+func (ld *loader) discover() error {
+	return filepath.WalkDir(ld.modRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != ld.modRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if !hasGoSource(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(ld.modRoot, path)
+		if err != nil {
+			return err
+		}
+		imp := ld.modPath
+		if rel != "." {
+			imp = ld.modPath + "/" + filepath.ToSlash(rel)
+		}
+		ld.dirs[imp] = path
+		return nil
+	})
+}
+
+// hasGoSource reports whether dir directly contains a non-test .go file.
+func hasGoSource(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// match expands patterns to a sorted list of known import paths.
+func (ld *loader) match(patterns []string) ([]string, error) {
+	set := make(map[string]bool)
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		if pat == "." || pat == "" {
+			pat = ld.modPath
+		} else if strings.HasPrefix(pat, "./") {
+			pat = ld.modPath + "/" + strings.TrimPrefix(pat, "./")
+		} else if !strings.HasPrefix(pat, ld.modPath) {
+			pat = ld.modPath + "/" + pat
+		}
+		matched := false
+		for imp := range ld.dirs {
+			if imp == pat || (recursive && (pat == ld.modPath || strings.HasPrefix(imp, pat+"/"))) {
+				set[imp] = true
+				matched = true
+			}
+		}
+		if !matched && !recursive {
+			return nil, fmt.Errorf("lint: no package matches %q", pat)
+		}
+	}
+	out := make([]string, 0, len(set))
+	for imp := range set {
+		out = append(out, imp)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// load parses and type-checks one module package (memoized).
+func (ld *loader) load(path string) (*Package, error) {
+	if pkg, ok := ld.loaded[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir, ok := ld.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("unknown package %s", path)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go source in %s", dir)
+	}
+
+	pkg := &Package{PkgPath: path, Dir: dir, Fset: ld.fset}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: (*modImporter)(ld),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil && tpkg == nil {
+		return nil, err
+	}
+	pkg.Files = files
+	pkg.Types = tpkg
+	pkg.Info = info
+	ld.loaded[path] = pkg
+	return pkg, nil
+}
+
+// modImporter resolves module-internal imports through the loader and
+// everything else through the stdlib source importer.
+type modImporter loader
+
+func (m *modImporter) Import(path string) (*types.Package, error) {
+	ld := (*loader)(m)
+	if _, ok := ld.dirs[path]; ok {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.fallback.Import(path)
+}

@@ -1,0 +1,69 @@
+// Package determfix exercises determcheck: wall-clock reads, global
+// math/rand, and float accumulation over map iteration all fire; seeded
+// sources, slice accumulation, and per-key bins do not.
+package determfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func until(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until reads the wall clock"
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want "math/rand.Intn draws from the global"
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // ok: explicit deterministic source
+	return r.Intn(6)
+}
+
+func mapAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation inside range over a map"
+	}
+	return sum
+}
+
+func mapAccumExplicit(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "float accumulation inside range over a map"
+	}
+	return total
+}
+
+func sliceAccum(s []float64) float64 {
+	var sum float64
+	for _, v := range s { // ok: slices iterate in index order
+		sum += v
+	}
+	return sum
+}
+
+func perKeyBins(m map[int][]float64, out map[int]float64) {
+	for k, vs := range m {
+		local := 0.0 // ok: restarts every iteration
+		for _, v := range vs {
+			local += v
+		}
+		out[k] = local
+	}
+}
+
+func intAccum(m map[string]int) int {
+	var n int
+	for _, v := range m { // ok: integer addition is associative
+		n += v
+	}
+	return n
+}

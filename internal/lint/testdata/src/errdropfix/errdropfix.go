@@ -1,0 +1,46 @@
+// Package errdropfix exercises errdrop: bare-statement, defer, and go
+// calls that drop a final error result fire; handled errors, explicit
+// blank assignments, and infallible in-memory sinks do not.
+package errdropfix
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+func fallible() error { return nil }
+
+func fallibleTuple() (int, error) { return 0, nil }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func drops() {
+	fallible()      // want "error result of fallible is discarded"
+	fallibleTuple() // want "error result of fallibleTuple is discarded"
+}
+
+func dropsDefer(c closer) {
+	defer c.Close() // want "error result of c.Close is discarded"
+}
+
+func handled() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	_, err := fallibleTuple()
+	return err
+}
+
+func explicitBlank() {
+	_ = fallible() // ok: explicitly discarded
+}
+
+func inMemorySinks(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Fprintf(buf, "x=%d\n", 1) // ok: bytes.Buffer never fails
+	fmt.Fprintln(sb, "y")         // ok: strings.Builder never fails
+	buf.WriteString("z")          // ok: method on in-memory writer
+	sb.WriteByte('w')             // ok: method on in-memory writer
+}

@@ -1,0 +1,32 @@
+// Package ignorefix exercises //lint:ignore handling end to end: a
+// well-formed directive on the finding's line or the line above (naming
+// the analyzer or "all") suppresses; a directive naming the wrong
+// analyzer or missing its reason does not. The // want comments assert
+// exactly the findings that must SURVIVE suppression.
+package ignorefix
+
+import "time"
+
+func suppressedSameLine() time.Time {
+	return time.Now() //lint:ignore determcheck fixture exercises same-line suppression
+}
+
+func suppressedLineAbove() time.Time {
+	//lint:ignore determcheck fixture exercises line-above suppression
+	return time.Now()
+}
+
+func suppressedAll() time.Time {
+	//lint:ignore all fixture exercises the "all" wildcard
+	return time.Now()
+}
+
+func wrongAnalyzer() time.Time {
+	//lint:ignore parcheck directive names a different analyzer
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func missingReason() time.Time {
+	//lint:ignore determcheck
+	return time.Now() // want "time.Now reads the wall clock"
+}

@@ -1,0 +1,13 @@
+// Package jsonfix is a tiny two-finding package whose blklint -json
+// output is pinned by the golden file testdata/golden.json.
+package jsonfix
+
+import "time"
+
+func clock() time.Time {
+	return time.Now()
+}
+
+func spawn(fn func()) {
+	go fn()
+}

@@ -1,0 +1,37 @@
+// Package parfix exercises parcheck: raw go statements, sync.WaitGroup,
+// and channel construction outside internal/par all fire.
+package parfix
+
+import "sync"
+
+func rawGoroutine(work func()) {
+	go work() // want "raw go statement outside internal/par"
+}
+
+func handRolledFanOut(n int, fn func(int)) {
+	var wg sync.WaitGroup // want "sync.WaitGroup outside internal/par"
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // want "raw go statement outside internal/par"
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func channelFanOut(n int) {
+	results := make(chan int, n) // want "channel construction outside internal/par"
+	_ = results
+}
+
+func serialLoop(n int, fn func(int)) { // ok: plain serial iteration
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func mutexFine(mu *sync.Mutex) { // ok: only WaitGroup is confined
+	mu.Lock()
+	defer mu.Unlock()
+}

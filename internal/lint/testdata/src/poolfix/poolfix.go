@@ -1,0 +1,49 @@
+// Package poolfix exercises poolcheck: a sync.Pool.Get whose value
+// neither returns to the pool nor transfers to the caller fires; the
+// Put, defer-Put, and wrapper-return idioms do not.
+package poolfix
+
+import "sync"
+
+var bufPool sync.Pool
+
+func consume([]byte) {}
+
+func leaks() {
+	b := bufPool.Get().([]byte) // want "sync.Pool Get on bufPool without a Put"
+	consume(b)
+}
+
+func pairedPut() {
+	b := bufPool.Get().([]byte)
+	defer bufPool.Put(b) // ok: deferred Put on every path
+	_ = b
+}
+
+func inlinePut() {
+	b := bufPool.Get().([]byte)
+	b = b[:0]
+	bufPool.Put(b) // ok: direct Put
+}
+
+func wrapperReturn(n int) []byte {
+	if v := bufPool.Get(); v != nil {
+		if b := v.([]byte); cap(b) >= n {
+			return b[:n] // ok: ownership transfers to the caller
+		}
+	}
+	return make([]byte, n)
+}
+
+func directReturn() any {
+	return bufPool.Get() // ok: returned directly
+}
+
+type twoPools struct {
+	a, b sync.Pool
+}
+
+func (t *twoPools) crossPool() {
+	x := t.a.Get() // want "sync.Pool Get on t.a without a Put"
+	t.b.Put(x)     // Put on the WRONG pool does not pair
+}

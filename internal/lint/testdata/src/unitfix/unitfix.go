@@ -1,0 +1,45 @@
+// Package unitfix exercises unitcheck: bare numeric parameters and
+// fields with dimension-implying names fire, as does additive arithmetic
+// mixing two different unit types through conversions.
+package unitfix
+
+import "time"
+
+// Miniature unit types (recognized by their well-known dimension names).
+type Power float64
+type ByteSize int64
+
+type panel struct {
+	DrawMW     float64 // want "field DrawMW has bare type float64"
+	SizeBytes  int64   // want "field SizeBytes has bare type int64"
+	RefreshHz  int     // want "field RefreshHz has bare type int"
+	Budget     Power   // ok: dimensioned type
+	PixelCount int     // ok: name implies no dimension
+}
+
+func drive(mw float64, vsyncMs int) { // want "parameter mw has bare type float64" "parameter vsyncMs has bare type int"
+	_ = mw
+	_ = vsyncMs
+}
+
+func dimensioned(p Power, d time.Duration, frames int) { // ok
+	_ = p
+	_ = d
+	_ = frames
+}
+
+func mixed(p Power, b ByteSize) float64 {
+	return float64(p) + float64(b) // want "additive arithmetic mixes distinct unit types"
+}
+
+func mixedDuration(p Power, d time.Duration) float64 {
+	return float64(p) - float64(d) // want "additive arithmetic mixes distinct unit types"
+}
+
+func sameUnit(a, b Power) float64 {
+	return float64(a) + float64(b) // ok: same dimension
+}
+
+func ratio(p Power, b ByteSize) float64 {
+	return float64(p) / float64(b) // ok: division combines dimensions
+}

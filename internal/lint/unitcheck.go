@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// UnitCheck enforces dimensioned types: parameters and struct fields
+// whose names imply a physical dimension (mw, watts, bytes, hz, ms, ...)
+// must not be bare float64/int — the units package exists so that feeding
+// a bit rate where a byte rate is expected fails at compile time, and a
+// bare float64 named "mw" defeats that. It also flags additive
+// arithmetic whose operands were converted from two *different* unit
+// types: `float64(power) + float64(bytes)` type-checks but is
+// dimensionally meaningless (multiplication and division legitimately
+// combine dimensions, so only + and - are checked).
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc:  "flag bare numeric parameters/fields with dimension-implying names and additive mixing of distinct unit types",
+	Scope: func(pkgPath string) bool {
+		// The units package itself defines the dimensioned types; its
+		// constructors legitimately take bare numbers.
+		return isInternal(pkgPath) && !strings.HasSuffix(pkgPath, "internal/units")
+	},
+	Run: runUnitCheck,
+}
+
+// dimensionSuffixes maps a lower-cased trailing identifier word to the
+// dimensioned type that should flow instead of a bare number.
+var dimensionSuffixes = map[string]string{
+	"mw":         "units.Power",
+	"milliwatts": "units.Power",
+	"watt":       "units.Power",
+	"watts":      "units.Power",
+	"mj":         "units.Energy",
+	"joule":      "units.Energy",
+	"joules":     "units.Energy",
+	"bytes":      "units.ByteSize",
+	"hz":         "units.RefreshRate",
+	"khz":        "units.RefreshRate",
+	"mhz":        "units.RefreshRate",
+	"bps":        "units.DataRate",
+	"kbps":       "units.DataRate",
+	"mbps":       "units.DataRate",
+	"gbps":       "units.DataRate",
+	"ms":         "time.Duration",
+	"msec":       "time.Duration",
+	"usec":       "time.Duration",
+	"nsec":       "time.Duration",
+	"millis":     "time.Duration",
+	"micros":     "time.Duration",
+	"nanos":      "time.Duration",
+}
+
+func runUnitCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Type.Params != nil {
+					checkFieldList(pass, n.Type.Params, "parameter")
+				}
+			case *ast.StructType:
+				checkFieldList(pass, n.Fields, "field")
+			case *ast.BinaryExpr:
+				checkAdditiveMix(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkFieldList flags bare-numeric fields/params with dimension names.
+func checkFieldList(pass *Pass, fl *ast.FieldList, kind string) {
+	for _, f := range fl.List {
+		if !isBareNumeric(pass.TypesInfo.TypeOf(f.Type)) {
+			continue
+		}
+		for _, name := range f.Names {
+			if want, ok := dimensionOf(name.Name); ok {
+				pass.Reportf(name.Pos(), "%s %s has bare type %s but its name implies a dimension; use %s so unit mix-ups fail to compile", kind, name.Name, pass.TypesInfo.TypeOf(f.Type), want)
+			}
+		}
+	}
+}
+
+// isBareNumeric reports whether t is an undimensioned builtin numeric
+// type (float64, int, int64, ...) rather than a named quantity type.
+func isBareNumeric(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0 && b.Info()&types.IsComplex == 0
+}
+
+// dimensionOf reports the suggested unit type when the identifier's last
+// camelCase/snake_case word names a dimension: "mw", "sizeBytes",
+// "refresh_hz" all match; "forms" or "farms" do not.
+func dimensionOf(name string) (string, bool) {
+	word := strings.ToLower(lastWord(name))
+	want, ok := dimensionSuffixes[word]
+	return want, ok
+}
+
+// lastWord extracts the final word of a camelCase or snake_case
+// identifier: "sizeBytes" -> "Bytes", "refresh_hz" -> "hz", "mW" -> "mW".
+func lastWord(name string) string {
+	if i := strings.LastIndexByte(name, '_'); i >= 0 {
+		return name[i+1:]
+	}
+	// Walk back over the trailing run of one case style. A trailing
+	// upper-case run ("powerMW") is its own word; a lower-case run
+	// ("sizeBytes") extends back through its leading capital.
+	runes := []rune(name)
+	i := len(runes) - 1
+	if i < 0 {
+		return name
+	}
+	if unicode.IsUpper(runes[i]) {
+		for i > 0 && unicode.IsUpper(runes[i-1]) {
+			i--
+		}
+		return string(runes[i:])
+	}
+	for i > 0 && unicode.IsLower(runes[i-1]) {
+		i--
+	}
+	if i > 0 && unicode.IsUpper(runes[i-1]) {
+		i--
+	}
+	return string(runes[i:])
+}
+
+// checkAdditiveMix flags `conv1(x) ± conv2(y)` where x and y carry two
+// different unit types.
+func checkAdditiveMix(pass *Pass, bin *ast.BinaryExpr) {
+	if op := bin.Op.String(); op != "+" && op != "-" {
+		return
+	}
+	left := unitTypeOfConversion(pass, bin.X)
+	right := unitTypeOfConversion(pass, bin.Y)
+	if left == nil || right == nil {
+		return
+	}
+	if types.Identical(left, right) {
+		return
+	}
+	pass.Reportf(bin.OpPos, "additive arithmetic mixes distinct unit types %s and %s laundered through conversions; convert to a common dimension explicitly", left, right)
+}
+
+// unitTypeOfConversion returns the unit type U when expr is a conversion
+// T(x) (possibly parenthesized) with x of unit type U.
+func unitTypeOfConversion(pass *Pass, expr ast.Expr) types.Type {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil
+	}
+	argT := pass.TypesInfo.TypeOf(call.Args[0])
+	if argT == nil || !isUnitType(argT) {
+		return nil
+	}
+	return argT
+}
+
+// knownUnitNames lets fixture packages declare their own miniature unit
+// types without importing internal/units.
+var knownUnitNames = map[string]bool{
+	"Power": true, "Energy": true, "ByteSize": true, "DataRate": true,
+	"RefreshRate": true, "FPS": true, "Duration": true,
+}
+
+// isUnitType reports whether t is a dimensioned quantity: a named
+// numeric type from a package called "units", time.Duration, or a named
+// type carrying a well-known dimension name.
+func isUnitType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsNumeric == 0 {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Name() {
+	case "units":
+		return true
+	case "time":
+		return obj.Name() == "Duration"
+	}
+	return knownUnitNames[obj.Name()]
+}

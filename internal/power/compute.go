@@ -2,6 +2,7 @@ package power
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"burstlink/internal/pipeline"
@@ -116,13 +117,21 @@ func (m Model) Evaluate(tl trace.Timeline, load Load) Result {
 // transitionEnergy charges the P_en·Lat_en + P_ex·Lat_ex terms per state
 // entry.
 func (m Model) transitionEnergy(tl trace.Timeline) units.Energy {
+	// Charge states in sorted order: float accumulation in map iteration
+	// order would wobble the low bits run to run (determcheck).
+	entries := tl.Entries()
+	states := make([]soc.PackageCState, 0, len(entries))
+	for st := range entries {
+		states = append(states, st)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
 	var e units.Energy
-	for st, entries := range tl.Entries() {
+	for _, st := range states {
 		if st == soc.C0 {
 			continue
 		}
 		lat := m.Latencies[st]
-		e += units.EnergyOver(m.TransitPower, time.Duration(entries)*(lat.Enter+lat.Exit))
+		e += units.EnergyOver(m.TransitPower, time.Duration(entries[st])*(lat.Enter+lat.Exit))
 	}
 	return e
 }

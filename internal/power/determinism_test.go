@@ -1,0 +1,58 @@
+package power
+
+import (
+	"testing"
+	"time"
+
+	"burstlink/internal/soc"
+	"burstlink/internal/trace"
+	"burstlink/internal/units"
+)
+
+// adversarialComp builds a component table whose per-state powers are
+// chosen so that float summation order visibly changes the result: if
+// StatePower ever goes back to accumulating in map iteration order, the
+// repeated-call comparison below fails within a handful of iterations.
+func adversarialComp() map[soc.Component]map[soc.PackageCState]units.Power {
+	vals := []units.Power{1e16, 1, -1e16, 3e-3, 7e7, -1, 2.5e-7, 1e16, -1e16, 0.1, 0.2, 0.3}
+	comp := make(map[soc.Component]map[soc.PackageCState]units.Power)
+	for i, c := range soc.Components() {
+		comp[c] = map[soc.PackageCState]units.Power{soc.C0: vals[i%len(vals)]}
+	}
+	return comp
+}
+
+// TestStatePowerDeterministic is the regression test for the determcheck
+// finding in StatePower: summing map values in iteration order made the
+// low bits of composed state power vary run to run (and even call to
+// call, since Go re-randomizes each range loop). The fix iterates in
+// sorted component order.
+func TestStatePowerDeterministic(t *testing.T) {
+	m := Model{Comp: adversarialComp()}
+	first := m.StatePower(soc.C0)
+	for i := 0; i < 200; i++ {
+		if got := m.StatePower(soc.C0); got != first {
+			t.Fatalf("call %d: StatePower = %v, first call = %v (map-order accumulation)", i, got, first)
+		}
+	}
+}
+
+// TestTransitionEnergyDeterministic is the regression test for the same
+// class of bug in transitionEnergy: the per-state entry counts live in a
+// map, and charging them in iteration order wobbled the total.
+func TestTransitionEnergyDeterministic(t *testing.T) {
+	m := Default()
+	// Exercise every non-C0 state so the Entries map has many keys.
+	var tl trace.Timeline
+	states := []soc.PackageCState{soc.C2, soc.C3, soc.C6, soc.C7, soc.C7Prime, soc.C8, soc.C10}
+	for i := 0; i < 40; i++ {
+		tl.Add(trace.Phase{State: soc.C0, Duration: 83 * time.Microsecond})
+		tl.Add(trace.Phase{State: states[i%len(states)], Duration: time.Duration(137+i) * time.Microsecond})
+	}
+	first := m.transitionEnergy(tl)
+	for i := 0; i < 200; i++ {
+		if got := m.transitionEnergy(tl); got != first {
+			t.Fatalf("call %d: transitionEnergy = %v, first call = %v (map-order accumulation)", i, got, first)
+		}
+	}
+}

@@ -17,6 +17,8 @@
 package power
 
 import (
+	"sort"
+
 	"burstlink/internal/dram"
 	"burstlink/internal/pipeline"
 	"burstlink/internal/soc"
@@ -107,9 +109,16 @@ func Default() Model {
 // StatePower returns the composed base power of a package C-state (no
 // DRAM operating power, no burst/GPU extras, demand factor 1).
 func (m Model) StatePower(st soc.PackageCState) units.Power {
+	// Sum in sorted component order: float accumulation in map iteration
+	// order would wobble the low bits run to run (determcheck).
+	comps := make([]soc.Component, 0, len(m.Comp))
+	for c := range m.Comp {
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
 	var sum units.Power
-	for _, states := range m.Comp {
-		sum += states[st]
+	for _, c := range comps {
+		sum += m.Comp[c][st]
 	}
 	return sum
 }

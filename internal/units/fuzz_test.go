@@ -1,0 +1,52 @@
+package units
+
+import "testing"
+
+// FuzzResolutionFrameSize checks FrameSize's arithmetic contract over
+// arbitrary geometry: exact agreement with int64 math (no intermediate
+// int overflow), non-negativity, monotonicity in depth, and consistency
+// with Pixels and Bits.
+func FuzzResolutionFrameSize(f *testing.F) {
+	f.Add(1920, 1080, 24)
+	f.Add(3840, 2160, 24) // the paper's "24 MB" 4K frame, §1
+	f.Add(1, 1, 1)
+	f.Add(16383, 16383, 64)
+	f.Add(0, 0, 0)
+
+	f.Fuzz(func(t *testing.T, wRaw, hRaw, bppRaw int) {
+		// Clamp into the domain the codec/container enforce (dimensions
+		// up to 2^14, depths up to 64 bpp).
+		w := abs(wRaw) % (1 << 14)
+		h := abs(hRaw) % (1 << 14)
+		bpp := abs(bppRaw) % 65
+		r := Resolution{Width: w, Height: h}
+
+		if got, want := r.Pixels(), w*h; got != want {
+			t.Fatalf("Pixels(%dx%d) = %d, want %d", w, h, got, want)
+		}
+		got := r.FrameSize(bpp)
+		want := ByteSize(int64(w) * int64(h) * int64(bpp) / 8)
+		if got != want {
+			t.Fatalf("FrameSize(%dx%d, %d bpp) = %d, want %d", w, h, bpp, got, want)
+		}
+		if got < 0 {
+			t.Fatalf("FrameSize(%dx%d, %d bpp) negative: %d", w, h, bpp, got)
+		}
+		if next := r.FrameSize(bpp + 8); next < got {
+			t.Fatalf("FrameSize not monotonic in depth: %d bpp -> %d, %d bpp -> %d", bpp, got, bpp+8, next)
+		}
+		if bpp%8 == 0 && got.Bits() != int64(w)*int64(h)*int64(bpp) {
+			t.Fatalf("FrameSize(%dx%d, %d bpp).Bits() = %d, want %d", w, h, bpp, got.Bits(), int64(w)*int64(h)*int64(bpp))
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == -x { // math.MinInt
+			return 0
+		}
+		return -x
+	}
+	return x
+}

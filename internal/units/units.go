@@ -89,6 +89,41 @@ func (r DataRate) String() string {
 	return fmt.Sprintf("%.0f bps", float64(r))
 }
 
+// Frequency is a clock or signal frequency in hertz. Distinct from
+// RefreshRate (a small integer display cadence): Frequency carries the
+// hundreds-of-MHz fixed-function clocks of Table 2's derivations.
+type Frequency float64
+
+// Common frequencies.
+const (
+	Hz  Frequency = 1
+	KHz           = 1e3 * Hz
+	MHz           = 1e6 * Hz
+	GHz           = 1e9 * Hz
+)
+
+// Period returns the duration of one cycle. A zero or negative frequency
+// yields 0.
+func (f Frequency) Period() time.Duration {
+	if f <= 0 {
+		return 0
+	}
+	return time.Duration(float64(time.Second) / float64(f))
+}
+
+// String formats the frequency in the most natural decimal unit.
+func (f Frequency) String() string {
+	switch {
+	case f >= GHz:
+		return fmt.Sprintf("%.2f GHz", float64(f)/float64(GHz))
+	case f >= MHz:
+		return fmt.Sprintf("%.0f MHz", float64(f)/float64(MHz))
+	case f >= KHz:
+		return fmt.Sprintf("%.1f kHz", float64(f)/float64(KHz))
+	}
+	return fmt.Sprintf("%.0f Hz", float64(f))
+}
+
 // Power is an electrical power in milliwatts. The paper reports all
 // platform powers in mW, so we keep that convention.
 type Power float64

@@ -46,10 +46,10 @@ func (s Stage) String() string {
 // Config describes a hardware decoder.
 type Config struct {
 	// ClockHz is the decoder clock at the C0 operating point.
-	ClockHz float64
+	ClockHz units.Frequency
 	// LPClockHz is the power-constrained C7 operating point (§4.1's
 	// interleaved decode runs here).
-	LPClockHz float64
+	LPClockHz units.Frequency
 	// CyclesPerMB is each stage's per-macroblock latency in cycles.
 	CyclesPerMB [numStages]int
 }
@@ -112,20 +112,20 @@ func (c Config) FrameTimeLP(res units.Resolution) time.Duration {
 	return c.frameTimeAt(res, c.LPClockHz)
 }
 
-func (c Config) frameTimeAt(res units.Resolution, hz float64) time.Duration {
+func (c Config) frameTimeAt(res units.Resolution, hz units.Frequency) time.Duration {
 	mbw, mbh := (res.Width+codec.MBSize-1)/codec.MBSize, (res.Height+codec.MBSize-1)/codec.MBSize
 	cycles := c.FrameCycles(mbw * mbh)
-	return time.Duration(float64(cycles) / hz * float64(time.Second))
+	return time.Duration(float64(cycles) / float64(hz) * float64(time.Second))
 }
 
 // Throughput returns the steady-state pixel rate at the C0 clock.
 func (c Config) Throughput() float64 {
-	return c.ClockHz / float64(c.bottleneck()) * codec.MBSize * codec.MBSize
+	return float64(c.ClockHz) / float64(c.bottleneck()) * codec.MBSize * codec.MBSize
 }
 
 // ThroughputLP returns the steady-state pixel rate at the C7 clock.
 func (c Config) ThroughputLP() float64 {
-	return c.LPClockHz / float64(c.bottleneck()) * codec.MBSize * codec.MBSize
+	return float64(c.LPClockHz) / float64(c.bottleneck()) * codec.MBSize * codec.MBSize
 }
 
 // BatchTime returns the time to decode batch frames back to back at a
@@ -141,7 +141,7 @@ func (c Config) BatchTime(res units.Resolution, batch int, boost float64) time.D
 	mbw, mbh := (res.Width+codec.MBSize-1)/codec.MBSize, (res.Height+codec.MBSize-1)/codec.MBSize
 	mbs := mbw * mbh * batch
 	cycles := c.fillCycles() + (mbs-1)*c.bottleneck()
-	return time.Duration(float64(cycles) / (c.ClockHz * boost) * float64(time.Second))
+	return time.Duration(float64(cycles) / (float64(c.ClockHz) * boost) * float64(time.Second))
 }
 
 // Simulate runs the 4-stage macroblock pipeline on the discrete-event
