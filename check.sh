@@ -32,5 +32,10 @@ go run ./cmd/blklint ./...
 echo "== fuzz smoke (5s each)"
 go test -run='^$' -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=5s ./internal/codec
 go test -run='^$' -fuzz=FuzzResolutionFrameSize -fuzztime=5s ./internal/units
+go test -run='^$' -fuzz=FuzzAPIDecodeRequest -fuzztime=5s ./internal/api
+
+echo "== service binaries respond to -help"
+go run ./cmd/blkd -help
+go run ./cmd/blkload -help
 
 echo "all checks passed"

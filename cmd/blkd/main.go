@@ -1,0 +1,75 @@
+// Command blkd is the BurstLink simulation daemon: the repository's
+// engines served as versioned JSON endpoints with a scenario-keyed
+// result cache, request coalescing, and bounded concurrency with
+// backpressure. See internal/server for the service layer and
+// internal/api for the wire contract.
+//
+// Usage:
+//
+//	blkd [-addr :8080] [-cache 4096] [-concurrency N] [-queue 64]
+//	     [-timeout 30s] [-drain 10s] [-no-coalesce]
+//
+// Endpoints:
+//
+//	POST /v1/session    run one streaming session under a scheme
+//	POST /v1/sweep      fan a scheme × resolution × fps sweep out
+//	GET  /v1/exp        list experiment IDs
+//	GET  /v1/exp/{id}   run one §6 experiment table
+//	GET  /v1/stats      service counters (cache, rejections, peaks)
+//	GET  /healthz       liveness probe
+//
+// blkd drains gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight requests finish (bounded by -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"burstlink/internal/server"
+)
+
+func main() {
+	fs := flag.NewFlagSet("blkd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheN := fs.Int("cache", 4096, "scenario result cache entries (0 disables caching)")
+	conc := fs.Int("concurrency", 0, "max concurrent model executions (0 = 2×GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "max requests queued for an execution slot before 429")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request execution deadline")
+	drain := fs.Duration("drain", 10*time.Second, "graceful drain bound on shutdown")
+	noCoalesce := fs.Bool("no-coalesce", false, "disable coalescing of identical in-flight requests")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		Addr:            *addr,
+		MaxConcurrent:   *conc,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheN,
+		DisableCache:    *cacheN == 0,
+		DisableCoalesce: *noCoalesce,
+		RequestTimeout:  *timeout,
+		DrainTimeout:    *drain,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("blkd listening on %s (cache=%d, queue=%d, timeout=%v)", *addr, *cacheN, *queue, *timeout)
+	if err := srv.ListenAndServe(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "blkd:", err)
+		os.Exit(1)
+	}
+	log.Printf("blkd drained and stopped")
+}

@@ -1,0 +1,92 @@
+// Command blkload is a closed-loop load generator for blkd: a fixed
+// schedule of session requests — a configurable fraction of which are
+// exact duplicates, the near-duplicate workload shape the scenario
+// cache exploits — driven by N workers issuing back to back. It reports
+// throughput, latency percentiles, and the cache hit ratio observed
+// through the X-Cache header, which is what makes the service's "heavy
+// traffic" posture measurable instead of aspirational.
+//
+// Usage:
+//
+//	blkload [-url http://127.0.0.1:8080] [-c 64] [-n 2000]
+//	        [-dup 0.5] [-seed 1] [-json report.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"burstlink/internal/api"
+)
+
+func main() {
+	fs := flag.NewFlagSet("blkload", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "blkd base URL")
+	c := fs.Int("c", 64, "closed-loop worker count")
+	n := fs.Int("n", 2000, "total requests")
+	dup := fs.Float64("dup", 0.5, "fraction of requests duplicating an earlier one [0,1)")
+	seed := fs.Int64("seed", 1, "schedule seed")
+	jsonOut := fs.String("json", "", "also write the report as JSON to this file")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
+
+	client := api.NewClient(*url)
+	if err := client.Health(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "blkload: %s is not healthy: %v\n", *url, err)
+		os.Exit(1)
+	}
+	report, err := api.RunLoad(context.Background(), client, api.LoadOptions{
+		Concurrency: *c,
+		Requests:    *n,
+		DupRate:     *dup,
+		Seed:        *seed,
+		Now:         time.Now,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blkload:", err)
+		os.Exit(1)
+	}
+
+	printReport(os.Stdout, report)
+	if report.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "blkload: %d/%d requests failed (first: %s)\n",
+			report.Errors, report.Requests, report.FirstError)
+	}
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blkload:", err)
+			os.Exit(1)
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(*jsonOut, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "blkload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if report.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// printReport renders the human-readable summary.
+func printReport(w *os.File, r api.LoadReport) {
+	fmt.Fprintf(w, "requests    %d (%d errors), %d workers, dup %.0f%%\n",
+		r.Requests, r.Errors, r.Concurrency, r.DupRate*100)
+	fmt.Fprintf(w, "wall        %v\n", r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "throughput  %.1f req/s\n", r.Throughput)
+	fmt.Fprintf(w, "latency     p50 %v  p95 %v  p99 %v\n",
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	fmt.Fprintf(w, "cache       %d hits, %d coalesced, %d misses (hit ratio %.2f)\n",
+		r.Hits, r.Coalesced, r.Misses, r.HitRatio)
+}

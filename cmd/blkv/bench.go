@@ -71,6 +71,9 @@ func measure(name string, reps int, fn func() error) (benchResult, error) {
 }
 
 func benchJSONCmd(args []string) error {
+	if len(args) > 0 && args[0] == "serve" {
+		return benchServeCmd(args[1:])
+	}
 	fs := flag.NewFlagSet("bench-json", flag.ContinueOnError)
 	out := fs.String("o", "BENCH_parallel.json", "output JSON file")
 	w := fs.Int("w", 1280, "encode benchmark frame width")

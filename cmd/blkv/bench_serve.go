@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"burstlink/internal/api"
+	"burstlink/internal/server"
+)
+
+// bench-json serve measures the service layer itself: blkload's
+// closed-loop core driving an in-process blkd over loopback, once with
+// the scenario cache and coalescing enabled and once with both disabled.
+// The same deterministic schedule runs against both, so the delta is
+// exactly what the service layer buys on a duplicate-heavy workload.
+
+// serveReport is the top-level BENCH_serve.json document.
+type serveReport struct {
+	Concurrency int            `json:"concurrency"`
+	Requests    int            `json:"requests"`
+	DupRate     float64        `json:"dup_rate"`
+	Seed        int64          `json:"seed"`
+	Cached      api.LoadReport `json:"cached"`
+	Uncached    api.LoadReport `json:"uncached"`
+	// Speedup is cached throughput over uncached throughput.
+	Speedup float64 `json:"speedup"`
+}
+
+// runServeLoad starts an in-process server, drives the load schedule
+// through it, and drains it.
+func runServeLoad(cfg server.Config, opts api.LoadOptions) (api.LoadReport, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return api.LoadReport{}, err
+	}
+	srv := server.New(cfg)
+	stop := srv.Start(l)
+	rep, err := api.RunLoad(context.Background(), api.NewClient("http://"+l.Addr().String()), opts)
+	if serr := stop(); err == nil {
+		err = serr
+	}
+	return rep, err
+}
+
+func benchServeCmd(args []string) error {
+	fs := flag.NewFlagSet("bench-json serve", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_serve.json", "output JSON file")
+	c := fs.Int("c", 64, "closed-loop worker count")
+	n := fs.Int("n", 1000, "total requests per run")
+	dup := fs.Float64("dup", 0.5, "duplicate-scenario fraction [0,1)")
+	seed := fs.Int64("seed", 1, "schedule seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := api.LoadOptions{
+		Concurrency: *c,
+		Requests:    *n,
+		DupRate:     *dup,
+		Seed:        *seed,
+		Now:         time.Now,
+	}
+
+	cached, err := runServeLoad(server.Config{}, opts)
+	if err != nil {
+		return fmt.Errorf("bench serve (cached): %w", err)
+	}
+	if cached.Errors > 0 {
+		return fmt.Errorf("bench serve (cached): %d request errors (first: %s)", cached.Errors, cached.FirstError)
+	}
+	uncached, err := runServeLoad(server.Config{DisableCache: true, DisableCoalesce: true}, opts)
+	if err != nil {
+		return fmt.Errorf("bench serve (uncached): %w", err)
+	}
+	if uncached.Errors > 0 {
+		return fmt.Errorf("bench serve (uncached): %d request errors (first: %s)", uncached.Errors, uncached.FirstError)
+	}
+
+	report := serveReport{
+		Concurrency: *c,
+		Requests:    *n,
+		DupRate:     *dup,
+		Seed:        *seed,
+		Cached:      cached,
+		Uncached:    uncached,
+	}
+	if uncached.Throughput > 0 {
+		report.Speedup = cached.Throughput / uncached.Throughput
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("serve (c=%d, n=%d, dup=%.0f%%)\n", *c, *n, *dup*100)
+	fmt.Printf("  cached    %8.1f req/s  p50 %8v  p99 %8v  hit ratio %.2f\n",
+		cached.Throughput, cached.P50.Round(time.Microsecond), cached.P99.Round(time.Microsecond), cached.HitRatio)
+	fmt.Printf("  uncached  %8.1f req/s  p50 %8v  p99 %8v  hit ratio %.2f\n",
+		uncached.Throughput, uncached.P50.Round(time.Microsecond), uncached.P99.Round(time.Microsecond), uncached.HitRatio)
+	fmt.Printf("  speedup   %.2fx\n", report.Speedup)
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

@@ -52,7 +52,9 @@ func usage() {
   encode     -o FILE [-w W] [-h H] [-frames N] [-q QUALITY] [-b BPERIOD] [-bitrate MBPS]
   info       -i FILE
   decode     -i FILE [-raw FILE]
-  bench-json [-o FILE] [-w W] [-h H] [-reps N]   time the parallel kernels, write JSON`)
+  bench-json [-o FILE] [-w W] [-h H] [-reps N]   time the parallel kernels, write JSON
+  bench-json serve [-o FILE] [-c N] [-n N] [-dup F] [-seed N]
+             drive an in-process blkd with and without the scenario cache, write JSON`)
 }
 
 // synthFrame draws moving synthetic content.

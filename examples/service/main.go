@@ -1,0 +1,74 @@
+// Service: run blkd in-process and talk to it through the typed API
+// client — a session under two schemes, a small sweep (watch the cells
+// land in the scenario cache), and the service counters. The same calls
+// work against a standalone daemon: `go run ./cmd/blkd` and point
+// api.NewClient at it.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"burstlink/internal/api"
+	"burstlink/internal/server"
+	"burstlink/internal/units"
+)
+
+func main() {
+	// An in-process daemon on an ephemeral loopback port. Start returns
+	// a stop function that drains in-flight requests gracefully.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(server.Config{})
+	stop := srv.Start(l)
+	defer func() {
+		if err := stop(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	client := api.NewClient("http://" + l.Addr().String())
+	ctx := context.Background()
+
+	// One 4K 60FPS streaming session under each headline scheme.
+	for _, scheme := range []string{"conventional", "burstlink"} {
+		res, status, err := client.Session(ctx, api.SessionRequest{
+			Scheme:     scheme,
+			Resolution: "4K",
+			Refresh:    60,
+			FPS:        60,
+			Seconds:    10,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s  %v avg, %v, battery %v  [%s]\n",
+			scheme, res.AvgPower, res.Energy, res.BatteryLife.Round(time.Minute), status)
+	}
+
+	// A sweep whose burstlink/4K/60 cell matches the session above: the
+	// server reuses the cached cell instead of recomputing it.
+	sweep, status, err := client.Sweep(ctx, api.SweepRequest{
+		Schemes:     []string{"conventional", "burstlink"},
+		Resolutions: []string{"FHD", "4K"},
+		FPS:         []units.FPS{60},
+		Refresh:     60,
+		Seconds:     10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep: %d cells [%s]\n", len(sweep.Cells), status)
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service: %d requests, %d cache hits, %d misses (hit ratio %.2f)\n",
+		stats.Requests, stats.CacheHits, stats.CacheMisses, stats.HitRatio)
+}

@@ -1,0 +1,125 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is the typed HTTP client for a blkd instance. The zero HTTP
+// client (http.DefaultClient) is used unless overridden with
+// WithHTTPClient; all methods honor ctx for cancellation and deadlines.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the service rooted at base, e.g.
+// "http://127.0.0.1:8080".
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimSuffix(base, "/"), hc: http.DefaultClient}
+}
+
+// WithHTTPClient swaps the underlying HTTP client (timeouts, transport
+// reuse) and returns the Client for chaining.
+func (c *Client) WithHTTPClient(hc *http.Client) *Client {
+	c.hc = hc
+	return c
+}
+
+// do issues one request and decodes the response body into out (unless
+// out is nil), translating non-2xx responses into *Error.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) (CacheStatus, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return "", err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	// Close failures after a full read carry no information we can act on.
+	defer func() { _ = resp.Body.Close() }()
+	status := CacheStatus(resp.Header.Get(CacheHeader))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return status, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var env errorEnvelope
+		if jErr := json.Unmarshal(data, &env); jErr == nil && env.Error != nil {
+			env.Error.Status = resp.StatusCode
+			return status, env.Error
+		}
+		return status, Errf(resp.StatusCode, "http_error", "%s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return status, fmt.Errorf("api: decoding %s response: %w", path, err)
+		}
+	}
+	return status, nil
+}
+
+// Session runs one session and reports how the response was produced
+// (cache hit, miss, or coalesced onto an in-flight execution).
+func (c *Client) Session(ctx context.Context, req SessionRequest) (SessionResponse, CacheStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return SessionResponse{}, "", err
+	}
+	var out SessionResponse
+	status, err := c.do(ctx, http.MethodPost, "/v1/session", body, &out)
+	return out, status, err
+}
+
+// Sweep fans a parameter sweep out on the server.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (SweepResponse, CacheStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return SweepResponse{}, "", err
+	}
+	var out SweepResponse
+	status, err := c.do(ctx, http.MethodPost, "/v1/sweep", body, &out)
+	return out, status, err
+}
+
+// Experiment fetches one §6 experiment table as its JSON document.
+func (c *Client) Experiment(ctx context.Context, id string) (json.RawMessage, error) {
+	var out json.RawMessage
+	_, err := c.do(ctx, http.MethodGet, "/v1/exp/"+id, nil, &out)
+	return out, err
+}
+
+// Experiments lists the available experiment IDs.
+func (c *Client) Experiments(ctx context.Context) ([]string, error) {
+	var out ExperimentList
+	if _, err := c.do(ctx, http.MethodGet, "/v1/exp", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Experiments, nil
+}
+
+// Stats fetches the service counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var out Stats
+	_, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	_, err := c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return err
+}

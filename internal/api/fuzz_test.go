@@ -1,0 +1,70 @@
+package api
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAPIDecodeRequest fuzzes the service's edge: both request decoders
+// must turn arbitrary bytes into either a valid, normalized request or a
+// structured 400 *Error — never a panic, never an untyped error. This is
+// the contract the server trusts when it feeds r.Body straight in.
+func FuzzAPIDecodeRequest(f *testing.F) {
+	seeds := []string{
+		`{"scheme":"burstlink","resolution":"FHD","refresh_hz":60,"fps":30,"seconds":5}`,
+		`{"scheme":"conventional","resolution":"1920x1080","refresh_hz":120,"fps":60,"seconds":10,"bpp":24}`,
+		`{"scheme":"burstlink","resolution":"QHD","refresh_hz":60,"fps":30,"seconds":2,"vr":true,"vr_source":"4K","motion_factor":1.5}`,
+		`{"resolutions":["FHD","QHD"],"fps":[30,60],"refresh_hz":60,"seconds":5}`,
+		`{"schemes":["burstlink"],"resolutions":["4K"],"fps":[30],"refresh_hz":60,"seconds":1}`,
+		`{}`,
+		`[]`,
+		`null`,
+		`{"scheme":42}`,
+		`{"scheme":"burstlink","resolution":"FHD","refresh_hz":60,"fps":30,"seconds":5}trailing`,
+		`{"fps":[1e999]}`,
+		`{"seconds":-1}`,
+		`{"resolution":"0x0"}`,
+		`{"scheme":"` + strings.Repeat("x", 4096) + `"}`,
+		"\x00\x01\x02",
+		`{"motion_factor":1e308,"vr":true,"vr_source":"1x1","scheme":"burstlink","resolution":"FHD","refresh_hz":60,"fps":30,"seconds":1}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeSessionRequest(strings.NewReader(string(data)))
+		if err != nil {
+			aerr, ok := err.(*Error)
+			if !ok {
+				t.Fatalf("session decode error is not *api.Error: %#v", err)
+			}
+			if aerr.Status != 400 || aerr.Code == "" || aerr.Message == "" {
+				t.Fatalf("session decode error not a structured 400: %#v", aerr)
+			}
+		} else {
+			// An accepted request must survive its own normalization
+			// round trip: validation holds and the key is stable.
+			if verr := req.Validate(); verr != nil {
+				t.Fatalf("accepted request fails validation: %v", verr)
+			}
+			if req.Key() != req.Key() {
+				t.Fatal("unstable session key")
+			}
+		}
+
+		sreq, err := DecodeSweepRequest(strings.NewReader(string(data)))
+		if err != nil {
+			aerr, ok := err.(*Error)
+			if !ok {
+				t.Fatalf("sweep decode error is not *api.Error: %#v", err)
+			}
+			if aerr.Status != 400 || aerr.Code == "" || aerr.Message == "" {
+				t.Fatalf("sweep decode error not a structured 400: %#v", aerr)
+			}
+		} else {
+			if len(sreq.Expand()) > MaxSweepSize {
+				t.Fatalf("accepted sweep expands past the cap: %d cells", len(sreq.Expand()))
+			}
+		}
+	})
+}

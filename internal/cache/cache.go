@@ -1,0 +1,118 @@
+// Package cache provides the scenario-keyed LRU result cache behind
+// blkd's service layer. Every simulation in this repository is a pure
+// function of its canonicalized request (the determinism suite pins
+// that invariant), so a cached response body is provably identical to
+// what a fresh execution would produce — a hit returns byte-identical
+// output, never a stale approximation.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	Entries   int
+	Capacity  int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// entry is one cached key/value pair; Elements of LRU.order carry *entry.
+type entry struct {
+	key string
+	val []byte
+}
+
+// LRU is a mutex-guarded, fixed-capacity least-recently-used cache from
+// canonical scenario keys to response bodies. The zero capacity form
+// (NewLRU(0)) is a disabled cache: Get always misses and Put discards,
+// so callers need no separate "caching off" path.
+//
+// Stored values are aliased, not copied: callers must treat a value
+// passed to Put or returned by Get as immutable. The server writes the
+// bytes straight to the wire and never mutates them.
+type LRU struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// NewLRU returns a cache holding at most capacity entries. capacity <= 0
+// disables the cache entirely.
+func NewLRU(capacity int) *LRU {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LRU{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Enabled reports whether the cache can hold entries at all.
+func (c *LRU) Enabled() bool { return c.capacity > 0 }
+
+// Get returns the value cached under key, marking it most recently used.
+func (c *LRU) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry when
+// the cache is full. Re-putting an existing key refreshes its value and
+// recency.
+func (c *LRU) Put(key string, val []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+	c.items[key] = c.order.PushFront(&entry{key: key, val: val})
+}
+
+// Len returns the current entry count.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats snapshots the counters.
+func (c *LRU) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:   c.order.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,83 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"burstlink/internal/par"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU(2)
+	if !c.Enabled() {
+		t.Fatal("NewLRU(2) should be enabled")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache should miss")
+	}
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("a should survive eviction, got %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Capacity != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/2", st.Hits, st.Misses)
+	}
+}
+
+func TestLRUUpdateRefreshesRecency(t *testing.T) {
+	c := NewLRU(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Put("a", []byte("1'")) // refresh: "b" becomes LRU
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted after a's refresh")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "1'" {
+		t.Fatalf("Get(a) = %q, %v; want refreshed value", v, ok)
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	for _, capacity := range []int{0, -5} {
+		c := NewLRU(capacity)
+		if c.Enabled() {
+			t.Fatalf("NewLRU(%d) should be disabled", capacity)
+		}
+		c.Put("a", []byte("1"))
+		if _, ok := c.Get("a"); ok {
+			t.Fatal("disabled cache should never hit")
+		}
+		if c.Len() != 0 {
+			t.Fatalf("disabled cache Len = %d", c.Len())
+		}
+	}
+}
+
+func TestLRUConcurrentAccess(t *testing.T) {
+	c := NewLRU(64)
+	defer par.SetWorkers(par.SetWorkers(8))
+	par.ForEach(1024, func(i int) {
+		key := fmt.Sprintf("k%d", i%128)
+		c.Put(key, []byte(key))
+		if v, ok := c.Get(key); ok && string(v) != key {
+			t.Errorf("Get(%s) returned %q", key, v)
+		}
+	})
+	if c.Len() > 64 {
+		t.Fatalf("Len = %d exceeds capacity", c.Len())
+	}
+}

@@ -104,12 +104,18 @@ func ByID(id string) (Experiment, error) {
 			return e, nil
 		}
 	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+}
+
+// IDs returns every experiment ID (paper tables and extensions) sorted —
+// the listing blkd serves at GET /v1/exp.
+func IDs() []string {
 	ids := make([]string, 0)
 	for _, e := range FullRegistry() {
 		ids = append(ids, e.ID)
 	}
 	sort.Strings(ids)
-	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+	return ids
 }
 
 // pct formats a fraction as a percentage.

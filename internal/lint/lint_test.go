@@ -101,6 +101,25 @@ func TestParCheckFixture(t *testing.T) {
 	checkFixture(t, "parfix", []*Analyzer{ParCheck})
 }
 
+// TestParCheckAllowlist drives the allowfix fixture, which lives at
+// burstlink/internal/server/allowfix — inside the parcheck allowlist.
+// Through RunAnalyzers (Scope honored) the goroutine primitives inside
+// must produce zero findings and the fixture carries zero // want
+// comments; bypassing Scope must surface all three raw findings, proving
+// it is the allowlist doing the suppressing and not a blind spot.
+func TestParCheckAllowlist(t *testing.T) {
+	checkFixture(t, "server/allowfix", []*Analyzer{ParCheck})
+
+	pkg := loadFixture(t, "server/allowfix")
+	var raw []Finding
+	pass := &Pass{Analyzer: ParCheck, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, TypesInfo: pkg.Info, PkgPath: pkg.PkgPath, findings: &raw}
+	ParCheck.Run(pass)
+	// Two go statements, one WaitGroup, one channel construction.
+	if len(raw) != 4 {
+		t.Fatalf("scope-bypassed findings = %d, want 4: %v", len(raw), raw)
+	}
+}
+
 func TestPoolCheckFixture(t *testing.T) {
 	checkFixture(t, "poolfix", []*Analyzer{PoolCheck})
 }
@@ -182,8 +201,15 @@ func TestScopes(t *testing.T) {
 		{UnitCheck, "burstlink/internal/vd", true},
 		{UnitCheck, "burstlink/internal/units", false},
 		{ParCheck, "burstlink/internal/par", false},
+		{ParCheck, "burstlink/internal/server", false},
+		{ParCheck, "burstlink/internal/server/allowfix", false},
+		{ParCheck, "burstlink/internal/serverextra", true},
 		{ParCheck, "burstlink/internal/exp", true},
+		{ParCheck, "burstlink/internal/api", true},
+		{ParCheck, "burstlink/internal/cache", true},
 		{ParCheck, "burstlink/cmd/burstlink", true},
+		{ParCheck, "burstlink/cmd/blkd", true},
+		{ParCheck, "burstlink/cmd/blkload", true},
 		{ErrDrop, "burstlink/internal/trace", true},
 		{ErrDrop, "burstlink/cmd/blkv", false},
 	}

@@ -6,19 +6,44 @@ import (
 	"strings"
 )
 
-// ParCheck confines parallelism to internal/par. The pool is the only
-// place in the tree allowed to spawn goroutines: it bounds fan-out,
+// ParCheck confines parallelism to an explicit allowlist of packages.
+// internal/par is the kernel fan-out substrate: it bounds workers,
 // propagates worker panics to the caller, and collapses to a serial loop
 // under SetWorkers(1) — the property the determinism tests rely on. A raw
 // `go` statement, a hand-rolled sync.WaitGroup, or an ad-hoc channel
 // fan-out elsewhere escapes all three guarantees.
 var ParCheck = &Analyzer{
-	Name: "parcheck",
-	Doc:  "confine go statements, sync.WaitGroup, and channel fan-out to internal/par",
-	Scope: func(pkgPath string) bool {
-		return !strings.HasSuffix(pkgPath, "internal/par")
-	},
-	Run: runParCheck,
+	Name:  "parcheck",
+	Doc:   "confine go statements, sync.WaitGroup, and channel fan-out to the parallelism allowlist (internal/par, internal/server)",
+	Scope: func(pkgPath string) bool { return !parAllowed(pkgPath) },
+	Run:   runParCheck,
+}
+
+// parAllowlist names the packages (and their subtrees) where goroutine
+// primitives are legitimate. Keep it short and justified:
+//
+//   - internal/par: the worker pool is built FROM these primitives.
+//   - internal/server: the blkd service layer's accept loop, request
+//     coalescing (flightGroup), and graceful drain are event-driven
+//     concurrency, not bounded index fan-out — they cannot be expressed
+//     through the pool they'd otherwise be confined to.
+//
+// Everything else still goes through par; extending this list is a
+// review decision, not a //lint:ignore at the call site.
+var parAllowlist = []string{
+	"internal/par",
+	"internal/server",
+}
+
+// parAllowed reports whether pkgPath is an allowlisted package or lives
+// in an allowlisted subtree.
+func parAllowed(pkgPath string) bool {
+	for _, allowed := range parAllowlist {
+		if strings.HasSuffix(pkgPath, allowed) || strings.Contains(pkgPath, allowed+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 func runParCheck(pass *Pass) {

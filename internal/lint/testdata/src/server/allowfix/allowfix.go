@@ -1,0 +1,29 @@
+// Package allowfix exercises parcheck's explicit allowlist: it is
+// loaded under burstlink/internal/server/allowfix, inside the
+// internal/server subtree, so the goroutine primitives below — all of
+// which fire in any other package (see parfix) — produce NO findings
+// here. There are deliberately no // want comments in this file: the
+// fixture passes exactly when the allowlist suppresses everything.
+package allowfix
+
+import "sync"
+
+func acceptLoop(work func()) {
+	go work() // allowlisted: raw goroutine permitted in internal/server
+}
+
+func drainBarrier(n int, fn func(int)) {
+	var wg sync.WaitGroup // allowlisted: WaitGroup permitted in internal/server
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func serveHandle() chan error {
+	return make(chan error, 1) // allowlisted: signal channel permitted in internal/server
+}

@@ -1,0 +1,88 @@
+package par
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateCapacity(t *testing.T) {
+	g := NewGate(2)
+	if g.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", g.Cap())
+	}
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("first two TryAcquire should succeed")
+	}
+	if g.TryAcquire() {
+		t.Fatal("third TryAcquire should fail at capacity")
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("TryAcquire after Release should succeed")
+	}
+}
+
+func TestGateMinimumCapacity(t *testing.T) {
+	if got := NewGate(0).Cap(); got != 1 {
+		t.Fatalf("NewGate(0).Cap() = %d, want 1", got)
+	}
+	if got := NewGate(-3).Cap(); got != 1 {
+		t.Fatalf("NewGate(-3).Cap() = %d, want 1", got)
+	}
+}
+
+func TestGateAcquireContext(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire on empty gate: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Acquire on full gate = %v, want DeadlineExceeded", err)
+	}
+	g.Release()
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire after Release: %v", err)
+	}
+	g.Release()
+}
+
+func TestGateReleaseUnheldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release on unheld gate should panic")
+		}
+	}()
+	NewGate(1).Release()
+}
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	const n, width = 256, 4
+	g := NewGate(width)
+	var inside, peak atomic.Int64
+	defer SetWorkers(SetWorkers(16))
+	ForEach(n, func(i int) {
+		if err := g.Acquire(context.Background()); err != nil {
+			t.Errorf("Acquire: %v", err)
+			return
+		}
+		cur := inside.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inside.Add(-1)
+		g.Release()
+	})
+	if got := peak.Load(); got > width {
+		t.Fatalf("peak concurrent holders = %d, want <= %d", got, width)
+	}
+	if got := inside.Load(); got != 0 {
+		t.Fatalf("holders left inside = %d, want 0", got)
+	}
+}

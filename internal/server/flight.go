@@ -1,0 +1,57 @@
+package server
+
+import (
+	"sync"
+
+	"burstlink/internal/api"
+)
+
+// flightGroup coalesces concurrent executions of the same canonical
+// scenario: the first caller for a key becomes the leader and computes;
+// everyone else arriving while the leader is in flight attaches and
+// receives the leader's result — the micro-batching admission window.
+// The window is exactly the leader's execution: no timer, no wall
+// clock, so coalescing stays deterministic in what it returns (only
+// *whether* a request coalesces depends on timing, never the bytes).
+//
+// Followers share the leader's fate, including a leader timeout: the
+// attachment trades worst-case isolation for never running the same
+// scenario twice concurrently.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight execution.
+type flightCall struct {
+	wg   sync.WaitGroup
+	body []byte
+	err  *api.Error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do returns fn's result for key, executing fn once per flight: the
+// leader (leader == true) runs it, followers block until the leader
+// finishes and share the result.
+func (g *flightGroup) Do(key string, fn func() ([]byte, *api.Error)) (body []byte, err *api.Error, leader bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.body, c.err, false
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.body, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.body, c.err, true
+}

@@ -1,0 +1,469 @@
+// Package server implements blkd, the BurstLink simulation service: the
+// repository's engines (sessions, sweeps, the §6 experiment tables)
+// exposed as versioned JSON endpoints behind a service layer built for
+// the workload shape downstream planners actually generate — many
+// near-duplicate configurations. The layer stacks three mechanisms:
+//
+//   - a scenario-keyed LRU result cache (internal/cache): requests are
+//     canonicalized (internal/api) and identical scenarios return
+//     byte-identical cached bodies, which determinism makes provably
+//     safe;
+//   - coalescing admission: concurrent requests for the same canonical
+//     scenario attach to one in-flight execution instead of recomputing
+//     it, and sweep cells share the session cache, so overlapping
+//     sweeps coalesce cell by cell onto one par execution;
+//   - bounded concurrency with queue backpressure: at most MaxConcurrent
+//     model executions run at once (a par.Gate), at most QueueDepth
+//     requests wait, and everything beyond that is rejected with 429 +
+//     Retry-After instead of piling onto the run queue.
+//
+// The package is on parcheck's explicit allowlist: its accept loop,
+// coalescing, and graceful drain are inherently concurrent and cannot be
+// expressed as bounded index fan-out over the par pool.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"burstlink/internal/api"
+	"burstlink/internal/cache"
+	"burstlink/internal/exp"
+	"burstlink/internal/par"
+	"burstlink/internal/pipeline"
+	"burstlink/internal/power"
+	"burstlink/internal/session"
+)
+
+// Config tunes the service layer. Zero values select the defaults noted
+// on each field.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8080").
+	Addr string
+	// MaxConcurrent bounds simultaneously executing model runs
+	// (default 2×GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for an execution slot; beyond
+	// it the server answers 429 + Retry-After (default 64).
+	QueueDepth int
+	// CacheEntries sizes the scenario result cache (default 4096).
+	CacheEntries int
+	// DisableCache turns the result cache off (the bench harness's
+	// comparison mode).
+	DisableCache bool
+	// DisableCoalesce turns off in-flight request coalescing.
+	DisableCoalesce bool
+	// RequestTimeout is the per-request execution deadline (default 30s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful drain on shutdown (default 10s).
+	DrainTimeout time.Duration
+	// RetryAfterSeconds is advertised on 429 responses (default 1).
+	RetryAfterSeconds int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.RetryAfterSeconds <= 0 {
+		c.RetryAfterSeconds = 1
+	}
+	return c
+}
+
+// Server is one blkd instance: a handler tree plus the shared service
+// state (cache, coalescing group, admission gate, counters).
+type Server struct {
+	cfg    Config
+	p      pipeline.Platform
+	m      power.Model
+	cache  *cache.LRU
+	flight *flightGroup
+	gate   *par.Gate
+	mux    *http.ServeMux
+
+	requests  atomic.Uint64
+	rejected  atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	queued    atomic.Int64
+	inFlight  atomic.Int64
+	peak      atomic.Int64
+}
+
+// New builds a Server over the default platform and power model.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	entries := cfg.CacheEntries
+	if cfg.DisableCache {
+		entries = 0
+	}
+	s := &Server{
+		cfg:    cfg,
+		p:      pipeline.DefaultPlatform(),
+		m:      power.Default(),
+		cache:  cache.NewLRU(entries),
+		flight: newFlightGroup(),
+		gate:   par.NewGate(cfg.MaxConcurrent),
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/session", s.admit(s.handleSession))
+	s.mux.HandleFunc("POST /v1/sweep", s.admit(s.handleSweep))
+	s.mux.HandleFunc("GET /v1/exp", s.handleExpList)
+	s.mux.HandleFunc("GET /v1/exp/{id}", s.admit(s.handleExp))
+	return s
+}
+
+// Handler returns the service's HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// admit wraps a compute endpoint in the admission path: take an
+// execution slot (queueing up to QueueDepth), reject with backpressure
+// beyond that, and bound the execution with the per-request timeout.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		if !s.gate.TryAcquire() {
+			if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+				s.queued.Add(-1)
+				s.rejected.Add(1)
+				w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+				writeError(w, api.Errf(http.StatusTooManyRequests, "saturated",
+					"execution slots and queue are full; retry after %ds", s.cfg.RetryAfterSeconds))
+				return
+			}
+			err := s.gate.Acquire(r.Context())
+			s.queued.Add(-1)
+			if err != nil {
+				// The client gave up while queued; nothing to write.
+				return
+			}
+		}
+		defer s.gate.Release()
+
+		cur := s.inFlight.Add(1)
+		for {
+			p := s.peak.Load()
+			if cur <= p || s.peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		defer s.inFlight.Add(-1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// execute produces the response body for key: result cache first, then
+// (unless coalescing is off) attach to or lead the in-flight execution
+// of the same scenario, then compute. Successful bodies are cached.
+func (s *Server) execute(ctx context.Context, key string, compute func() ([]byte, *api.Error)) ([]byte, api.CacheStatus, *api.Error) {
+	if s.cache.Enabled() {
+		if body, ok := s.cache.Get(key); ok {
+			s.hits.Add(1)
+			return body, api.CacheHit, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, "", timeoutError(err)
+	}
+	if s.cfg.DisableCoalesce {
+		body, aerr := compute()
+		if aerr == nil {
+			s.misses.Add(1)
+			s.cache.Put(key, body)
+		}
+		return body, api.CacheMiss, aerr
+	}
+	body, aerr, leader := s.flight.Do(key, func() ([]byte, *api.Error) {
+		body, aerr := compute()
+		if aerr == nil {
+			s.cache.Put(key, body)
+		}
+		return body, aerr
+	})
+	if leader {
+		if aerr == nil {
+			s.misses.Add(1)
+		}
+		return body, api.CacheMiss, aerr
+	}
+	s.coalesced.Add(1)
+	return body, api.CacheCoalesced, aerr
+}
+
+// runSession executes one normalized, validated session request.
+func (s *Server) runSession(ctx context.Context, req api.SessionRequest) ([]byte, *api.Error) {
+	if err := ctx.Err(); err != nil {
+		return nil, timeoutError(err)
+	}
+	cfg, err := req.ToConfig()
+	if err != nil {
+		return nil, api.Errf(http.StatusBadRequest, "bad_request", "%v", err)
+	}
+	res, err := session.Run(s.p, s.m, cfg)
+	if err != nil {
+		// A valid request can still describe an infeasible scenario
+		// (e.g. a resolution the platform cannot scan out in a frame
+		// window); that is the scenario's fault, not the syntax's.
+		return nil, api.Errf(http.StatusUnprocessableEntity, "infeasible", "%v", err)
+	}
+	return marshalBody(api.SessionResponse{
+		Scheme:      res.Scheme.String(),
+		Frames:      res.Frames,
+		Stalls:      res.Stalls,
+		AvgPower:    res.AvgPower,
+		Energy:      res.Energy,
+		BatteryLife: res.BatteryLife,
+		DRAMRead:    res.DRAMRead,
+		DRAMWrite:   res.DRAMWrite,
+		BufferPeak:  res.Buffer.Peak,
+	})
+}
+
+// handleSession serves POST /v1/session.
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	req, err := api.DecodeSessionRequest(r.Body)
+	if err != nil {
+		writeAnyError(w, err)
+		return
+	}
+	body, status, aerr := s.execute(r.Context(), "v1/session:"+req.Key(), func() ([]byte, *api.Error) {
+		return s.runSession(r.Context(), req)
+	})
+	writeResult(w, body, status, aerr)
+}
+
+// handleSweep serves POST /v1/sweep: cells fan out on the par pool, and
+// each cell runs through the same cache + coalescing executor as
+// /v1/session — so overlapping sweeps, or a sweep overlapping prior
+// session requests, reuse each other's cells.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	req, err := api.DecodeSweepRequest(r.Body)
+	if err != nil {
+		writeAnyError(w, err)
+		return
+	}
+	sweepKey := "v1/sweep:" + req.Key()
+	body, status, aerr := s.execute(r.Context(), sweepKey, func() ([]byte, *api.Error) {
+		cells := req.Expand()
+		type cellResult struct {
+			body []byte
+			aerr *api.Error
+		}
+		results := par.Map(len(cells), func(i int) cellResult {
+			cell := cells[i]
+			cell.Normalize()
+			body, _, aerr := s.execute(r.Context(), "v1/session:"+cell.Key(), func() ([]byte, *api.Error) {
+				return s.runSession(r.Context(), cell)
+			})
+			return cellResult{body, aerr}
+		})
+		resp := api.SweepResponse{Cells: make([]api.SweepCell, len(cells))}
+		for i, res := range results {
+			if res.aerr != nil {
+				return nil, api.Errf(res.aerr.Status, res.aerr.Code,
+					"cell %d (%s %s %dfps): %s", i, cells[i].Scheme, cells[i].Resolution, cells[i].FPS, res.aerr.Message)
+			}
+			resp.Cells[i] = api.SweepCell{
+				Scheme:     cells[i].Scheme,
+				Resolution: cells[i].Resolution,
+				FPS:        cells[i].FPS,
+				Result:     json.RawMessage(res.body),
+			}
+		}
+		return marshalBody(resp)
+	})
+	writeResult(w, body, status, aerr)
+}
+
+// handleExp serves GET /v1/exp/{id}: one §6 table, JSON-encoded, through
+// the same cache (experiment tables are deterministic too).
+func (s *Server) handleExp(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, err := exp.ByID(id)
+	if err != nil {
+		writeError(w, api.Errf(http.StatusNotFound, "unknown_experiment", "%v", err))
+		return
+	}
+	body, status, aerr := s.execute(r.Context(), "v1/exp:"+id, func() ([]byte, *api.Error) {
+		tab, err := e.Run()
+		if err != nil {
+			return nil, api.Errf(http.StatusInternalServerError, "experiment_failed", "%s: %v", id, err)
+		}
+		b, err := tab.JSON()
+		if err != nil {
+			return nil, api.Errf(http.StatusInternalServerError, "encoding_failed", "%s: %v", id, err)
+		}
+		return b, nil
+	})
+	writeResult(w, body, status, aerr)
+}
+
+// handleExpList serves GET /v1/exp.
+func (s *Server) handleExpList(w http.ResponseWriter, r *http.Request) {
+	body, aerr := marshalBody(api.ExperimentList{Experiments: exp.IDs()})
+	writeResult(w, body, "", aerr)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	// A failed write means the prober is gone; there is nothing to do.
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	body, aerr := marshalBody(s.Stats())
+	writeResult(w, body, "", aerr)
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() api.Stats {
+	cs := s.cache.Stats()
+	st := api.Stats{
+		Requests:     s.requests.Load(),
+		Rejected:     s.rejected.Load(),
+		CacheHits:    s.hits.Load(),
+		CacheMisses:  s.misses.Load(),
+		Coalesced:    s.coalesced.Load(),
+		CacheEntries: cs.Entries,
+		MaxInFlight:  int(s.peak.Load()),
+	}
+	if total := st.CacheHits + st.CacheMisses + st.Coalesced; total > 0 {
+		st.HitRatio = float64(st.CacheHits+st.Coalesced) / float64(total)
+	}
+	return st
+}
+
+// timeoutError maps a context error onto the wire: deadline exhaustion
+// is a 504, a client cancellation needs no body at all (the peer is
+// gone) but is reported as 499 internally.
+func timeoutError(err error) *api.Error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return api.Errf(http.StatusGatewayTimeout, "timeout", "request deadline exceeded")
+	}
+	return api.Errf(499, "canceled", "client canceled the request")
+}
+
+// marshalBody encodes v, mapping the (practically impossible) encode
+// failure to a 500.
+func marshalBody(v any) ([]byte, *api.Error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, api.Errf(http.StatusInternalServerError, "encoding_failed", "%v", err)
+	}
+	return b, nil
+}
+
+// writeResult writes a computed body (with its cache status) or the
+// error that replaced it.
+func writeResult(w http.ResponseWriter, body []byte, status api.CacheStatus, aerr *api.Error) {
+	if aerr != nil {
+		writeAnyError(w, aerr)
+		return
+	}
+	if status != "" {
+		w.Header().Set(api.CacheHeader, string(status))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// A short write means the client disconnected mid-response.
+	_, _ = w.Write(body)
+}
+
+// writeAnyError writes err as a structured JSON error, defaulting
+// non-api errors to 500.
+func writeAnyError(w http.ResponseWriter, err error) {
+	var aerr *api.Error
+	if !errors.As(err, &aerr) {
+		aerr = api.Errf(http.StatusInternalServerError, "internal", "%v", err)
+	}
+	if aerr.Status == 499 {
+		// Client is gone; suppress the body but still end the exchange.
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	writeError(w, aerr)
+}
+
+// writeError writes a structured JSON error body.
+func writeError(w http.ResponseWriter, aerr *api.Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(aerr.Status)
+	// A failed error write means the client is gone; nothing to do.
+	_, _ = w.Write(api.EncodeError(aerr))
+}
+
+// ListenAndServe listens on cfg.Addr and serves until ctx is canceled,
+// then drains gracefully: the listener closes, in-flight requests get up
+// to DrainTimeout to finish, and only then does the call return.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	l, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return s.ServeListener(ctx, l)
+}
+
+// ServeListener serves on l until ctx is canceled, then drains. The
+// listener is owned (and closed) by the server from this point on.
+func (s *Server) ServeListener(ctx context.Context, l net.Listener) error {
+	httpSrv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(dctx); err != nil {
+			return fmt.Errorf("server: drain: %w", err)
+		}
+		<-errc // Serve has returned http.ErrServerClosed
+		return nil
+	}
+}
+
+// Start serves on l in the background and returns a stop function that
+// triggers the graceful drain and waits for it — the in-process form the
+// bench harness and examples use.
+func (s *Server) Start(l net.Listener) (stop func() error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.ServeListener(ctx, l) }()
+	return func() error {
+		cancel()
+		return <-done
+	}
+}

@@ -8,6 +8,7 @@ package session
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"burstlink/internal/core"
@@ -38,6 +39,24 @@ func (s Scheme) String() string {
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
 	return schemeNames[s]
+}
+
+// Schemes returns every display scheme in declaration order — the order
+// Compare reports results in.
+func Schemes() []Scheme {
+	return []Scheme{Conventional, BurstOnly, BypassOnly, BurstLink}
+}
+
+// ParseScheme maps a canonical scheme name (as produced by
+// Scheme.String) back to its value. The service API uses it to accept
+// schemes by name over the wire.
+func ParseScheme(name string) (Scheme, error) {
+	for i, n := range schemeNames {
+		if n == name {
+			return Scheme(i), nil
+		}
+	}
+	return 0, fmt.Errorf("session: unknown scheme %q (have %s)", name, strings.Join(schemeNames[:], ", "))
 }
 
 // scheduler returns the per-period timeline generator.
@@ -154,7 +173,7 @@ func Run(p pipeline.Platform, m power.Model, cfg Config) (Result, error) {
 // results in scheme order.
 func Compare(p pipeline.Platform, m power.Model, cfg Config) ([]Result, error) {
 	out := make([]Result, 0, 4)
-	for _, sch := range []Scheme{Conventional, BurstOnly, BypassOnly, BurstLink} {
+	for _, sch := range Schemes() {
 		c := cfg
 		c.Scheme = sch
 		r, err := Run(p, m, c)

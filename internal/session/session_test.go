@@ -114,3 +114,21 @@ func TestSchemeString(t *testing.T) {
 		t.Fatal("out-of-range name wrong")
 	}
 }
+
+func TestParseSchemeRoundTrip(t *testing.T) {
+	for _, sch := range Schemes() {
+		got, err := ParseScheme(sch.String())
+		if err != nil {
+			t.Fatalf("ParseScheme(%q): %v", sch, err)
+		}
+		if got != sch {
+			t.Fatalf("ParseScheme(%q) = %v, want %v", sch, got, sch)
+		}
+	}
+	if _, err := ParseScheme("nope"); err == nil {
+		t.Fatal("unknown scheme should error")
+	}
+	if _, err := ParseScheme(""); err == nil {
+		t.Fatal("empty scheme should error")
+	}
+}
