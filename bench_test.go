@@ -11,6 +11,7 @@
 package burstlink
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -298,7 +299,7 @@ func BenchmarkExpSweep(b *testing.B) {
 	b.Run("serial", func(b *testing.B) {
 		defer par.SetWorkers(par.SetWorkers(1))
 		for i := 0; i < b.N; i++ {
-			if _, err := exp.RunAll(exps); err != nil {
+			if _, err := exp.RunAll(context.Background(), exps); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -306,14 +307,14 @@ func BenchmarkExpSweep(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) {
 		defer par.SetWorkers(par.SetWorkers(1))
 		start := time.Now()
-		if _, err := exp.RunAll(exps); err != nil {
+		if _, err := exp.RunAll(context.Background(), exps); err != nil {
 			b.Fatal(err)
 		}
 		serial := time.Since(start)
 		par.SetWorkers(0)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := exp.RunAll(exps); err != nil {
+			if _, err := exp.RunAll(context.Background(), exps); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,17 +1,22 @@
 // Command blklint runs BurstLink's domain-aware static analyzers over the
 // module: determinism (determcheck), unit safety (unitcheck), concurrency
-// discipline (parcheck), pool hygiene (poolcheck), and dropped errors
-// (errdrop). See README.md "Static analysis" and DESIGN.md §4.6.
+// discipline (parcheck), pool hygiene (poolcheck), dropped errors
+// (errdrop), and the interprocedural CFG-based checks (gatecheck,
+// ctxcheck, lockcheck, detflow). See README.md "Static analysis" and
+// DESIGN.md §4.6/§4.8.
 //
 // Usage:
 //
-//	go run ./cmd/blklint [-json] [-only analyzer[,analyzer]] [packages]
+//	go run ./cmd/blklint [-json|-sarif] [-only analyzer[,analyzer]] [-changed ref] [packages]
 //
 // Packages default to ./... . Findings print as
 // file:line:col: analyzer: message; -json emits the machine-readable
-// schema instead. Exit status: 0 clean, 1 findings, 2 operational error.
-// Suppress a finding with //lint:ignore <analyzer> <reason> on the
-// finding's line or the line above it.
+// schema and -sarif a SARIF 2.1.0 log instead. -changed ref scopes the
+// run to packages with Go files differing from the git ref (the local
+// pre-commit loop); CI runs the full module. Exit status: 0 clean,
+// 1 findings, 2 operational error. Suppress a finding with
+// //lint:ignore <analyzer> <reason> on the finding's line or the line
+// above it.
 package main
 
 import (
@@ -32,9 +37,11 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("blklint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
 	only := fs.String("only", "", "comma-separated analyzer subset (default: all)")
+	changed := fs.String("changed", "", "analyze only packages with Go files changed since this git ref")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: blklint [-json] [-only analyzers] [packages]")
+		fmt.Fprintln(stderr, "usage: blklint [-json|-sarif] [-only analyzers] [-changed ref] [packages]")
 		fmt.Fprintln(stderr, "analyzers:")
 		for _, a := range lint.All() {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
@@ -42,6 +49,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "blklint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -58,14 +69,36 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
-	patterns := fs.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintf(stderr, "blklint: %v\n", err)
 		return 2
+	}
+	// SARIF artifact URIs are relative to the module root, so the log
+	// matches the repository tree no matter where blklint was invoked.
+	root := cwd
+	if modRoot, err := lint.FindModuleRoot(cwd); err == nil {
+		root = modRoot
+	}
+
+	patterns := fs.Args()
+	if *changed != "" {
+		if len(patterns) != 0 {
+			fmt.Fprintln(stderr, "blklint: -changed and explicit packages are mutually exclusive")
+			return 2
+		}
+		patterns, err = lint.ChangedPatterns(root, *changed)
+		if err != nil {
+			fmt.Fprintf(stderr, "blklint: %v\n", err)
+			return 2
+		}
+		if len(patterns) == 0 {
+			// Nothing Go-visible changed: a clean run by definition.
+			return emit(nil, analyzers, root, *jsonOut, *sarifOut, stdout, stderr)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
 	}
 	pkgs, err := lint.Load(cwd, patterns)
 	if err != nil {
@@ -79,12 +112,26 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	findings := lint.RunAnalyzers(pkgs, analyzers)
-	if *jsonOut {
+	return emit(findings, analyzers, root, *jsonOut, *sarifOut, stdout, stderr)
+}
+
+// emit writes findings in the selected format and maps them to the exit
+// status contract (0 clean, 1 findings, 2 operational error).
+func emit(findings []lint.Finding, analyzers []*lint.Analyzer, root string, jsonOut, sarifOut bool, stdout, stderr *os.File) int {
+	switch {
+	case jsonOut:
 		if err := json.NewEncoder(stdout).Encode(lint.Report(findings)); err != nil {
 			fmt.Fprintf(stderr, "blklint: %v\n", err)
 			return 2
 		}
-	} else {
+	case sarifOut:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(lint.SARIFReport(findings, analyzers, root)); err != nil {
+			fmt.Fprintf(stderr, "blklint: %v\n", err)
+			return 2
+		}
+	default:
 		for _, f := range findings {
 			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 		}

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"burstlink/internal/codec"
@@ -133,9 +135,12 @@ func benchJSONCmd(args []string) error {
 	report.Benchmarks = append(report.Benchmarks, res)
 
 	// Experiments: the full paper sweep, the `burstlink run all` workload.
+	// Ctrl-C cancels the sweep cells that have not started yet.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	exps := exp.Registry()
 	res, err = measure("exp-sweep-registry", *reps, func() error {
-		_, err := exp.RunAll(exps)
+		_, err := exp.RunAll(ctx, exps)
 		return err
 	})
 	if err != nil {

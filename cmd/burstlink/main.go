@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"burstlink/internal/core"
@@ -95,8 +97,11 @@ func runCmd(args []string) error {
 	}
 	if args[0] == "all" {
 		// The drivers are independent, so the sweep runs them on the
-		// worker pool; tables still print in registry order.
-		tabs, err := exp.RunAll(exp.Registry())
+		// worker pool; tables still print in registry order. Ctrl-C
+		// cancels the cells that have not started yet.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		tabs, err := exp.RunAll(ctx, exp.Registry())
 		if err != nil {
 			return err
 		}

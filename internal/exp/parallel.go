@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"burstlink/internal/par"
@@ -12,15 +13,23 @@ import (
 // model, workload definitions, and codec constants are all read-only
 // after package init), so drivers run concurrently without shared state.
 //
+// Cancellation is checked per sweep cell: a canceled ctx stops cells
+// that have not started yet (drivers themselves are not preemptible),
+// so an interrupted CLI or a timed-out service request does not pin the
+// worker pool for the rest of the sweep.
+//
 // All experiments run to completion even when one fails; the first error
 // in registry order is returned, wrapped with its experiment ID to match
 // the serial loop's reporting.
-func RunAll(exps []Experiment) ([]Table, error) {
+func RunAll(ctx context.Context, exps []Experiment) ([]Table, error) {
 	type result struct {
 		tab Table
 		err error
 	}
 	results := par.Map(len(exps), func(i int) result {
+		if err := ctx.Err(); err != nil {
+			return result{err: err}
+		}
 		tab, err := exps[i].Run()
 		return result{tab, err}
 	})

@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"burstlink/internal/par"
@@ -25,7 +27,7 @@ func TestRunAllMatchesSerial(t *testing.T) {
 	}
 
 	par.SetWorkers(4)
-	got, err := RunAll(exps)
+	got, err := RunAll(context.Background(), exps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func TestRunAllFirstErrorWins(t *testing.T) {
 		{ID: "bad1", Run: func() (Table, error) { return Table{}, first }},
 		{ID: "bad2", Run: func() (Table, error) { return Table{}, errors.New("second failure") }},
 	}
-	_, err := RunAll(exps)
+	_, err := RunAll(context.Background(), exps)
 	if err == nil {
 		t.Fatal("RunAll returned nil error")
 	}
@@ -57,6 +59,29 @@ func TestRunAllFirstErrorWins(t *testing.T) {
 		t.Fatalf("RunAll error = %v, want wrapped %v", err, first)
 	}
 	if want := fmt.Sprintf("bad1: %v", first); err.Error() != want {
+		t.Fatalf("RunAll error = %q, want %q", err.Error(), want)
+	}
+}
+
+// TestRunAllHonorsCancel pins the per-cell cancellation contract: under
+// an already-canceled ctx no driver starts, and the error carries the
+// first skipped experiment's ID exactly like a driver failure would.
+func TestRunAllHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	exps := []Experiment{
+		{ID: "a", Run: func() (Table, error) { ran.Add(1); return Table{ID: "a"}, nil }},
+		{ID: "b", Run: func() (Table, error) { ran.Add(1); return Table{ID: "b"}, nil }},
+	}
+	_, err := RunAll(ctx, exps)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunAll error = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d drivers ran under a canceled ctx, want 0", got)
+	}
+	if want := "a: " + context.Canceled.Error(); err.Error() != want {
 		t.Fatalf("RunAll error = %q, want %q", err.Error(), want)
 	}
 }

@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses a function body (plain syntax, no type info —
+// BuildCFG is purely syntactic) and builds its graph.
+func buildTestCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f(c, d bool, n int, ch chan int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing body: %v", err)
+	}
+	return BuildCFG(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// reachable returns the blocks reachable from the entry.
+func reachable(c *CFG) map[*Block]bool {
+	seen := map[*Block]bool{c.Entry: true}
+	work := []*Block{c.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range b.Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// blocksWithCall returns the reachable blocks whose nodes contain a call
+// to the named function.
+func blocksWithCall(c *CFG, name string) []*Block {
+	var out []*Block
+	for b := range reachable(c) {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				out = append(out, b)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestCFGIf(t *testing.T) {
+	c := buildTestCFG(t, "if c {\n a()\n} else {\n b()\n}\nd()")
+	if !reachable(c)[c.Exit] {
+		t.Fatal("exit unreachable through if/else")
+	}
+	// The entry block ends in a two-way conditional branch carrying the
+	// condition with both truth values.
+	var truths []bool
+	for _, e := range c.Entry.Succs {
+		if e.Cond == nil {
+			t.Fatalf("if branch edge missing its condition")
+		}
+		truths = append(truths, e.Truth)
+	}
+	if len(truths) != 2 || truths[0] == truths[1] {
+		t.Fatalf("if branch edges = %v, want one true and one false", truths)
+	}
+	// Both arms and the join must be reachable.
+	for _, fn := range []string{"a", "b", "d"} {
+		if len(blocksWithCall(c, fn)) == 0 {
+			t.Errorf("call %s() not in any reachable block", fn)
+		}
+	}
+}
+
+func TestCFGForeverLoop(t *testing.T) {
+	c := buildTestCFG(t, "for {\n a()\n}")
+	if reachable(c)[c.Exit] {
+		t.Fatal("exit reachable past `for {}` with no break")
+	}
+}
+
+func TestCFGForeverLoopWithBreak(t *testing.T) {
+	c := buildTestCFG(t, "for {\n if c {\n  break\n }\n a()\n}\nb()")
+	r := reachable(c)
+	if !r[c.Exit] {
+		t.Fatal("break out of `for {}` must reach the exit")
+	}
+	if len(blocksWithCall(c, "b")) == 0 {
+		t.Error("code after the loop unreachable despite break")
+	}
+}
+
+func TestCFGForCondLoop(t *testing.T) {
+	c := buildTestCFG(t, "for c {\n a()\n}\nb()")
+	if !reachable(c)[c.Exit] {
+		t.Fatal("exit unreachable past a conditioned for")
+	}
+	// The loop body must edge back: some reachable block has a successor
+	// with a lower index (the back edge to the condition).
+	back := false
+	for b := range reachable(c) {
+		for _, e := range b.Succs {
+			if e.To.Index < b.Index && e.To != c.Exit {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Error("no back edge found for the loop")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := buildTestCFG(t, "switch n {\ncase 1:\n a()\n fallthrough\ncase 2:\n b()\ndefault:\n d()\n}\ne()")
+	if !reachable(c)[c.Exit] {
+		t.Fatal("exit unreachable past switch")
+	}
+	// The fallthrough edge: a()'s block must reach b()'s block directly.
+	ab := blocksWithCall(c, "a")
+	bb := blocksWithCall(c, "b")
+	if len(ab) != 1 || len(bb) != 1 {
+		t.Fatalf("clause blocks: a in %d blocks, b in %d blocks, want 1 and 1", len(ab), len(bb))
+	}
+	direct := false
+	for _, e := range ab[0].Succs {
+		if e.To == bb[0] {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Error("fallthrough edge from case 1 to case 2 missing")
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	c := buildTestCFG(t, "if c {\n return\n}\na()")
+	r := reachable(c)
+	if !r[c.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// The block holding the return must edge straight to Exit.
+	var retBlock *Block
+	for b := range r {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				retBlock = b
+			}
+		}
+	}
+	if retBlock == nil {
+		t.Fatal("return statement not in any reachable block")
+	}
+	if len(retBlock.Succs) != 1 || retBlock.Succs[0].To != c.Exit {
+		t.Errorf("return block succs = %d, want exactly the exit", len(retBlock.Succs))
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	c := buildTestCFG(t, "if c {\n panic(\"boom\")\n a()\n}\nb()")
+	r := reachable(c)
+	if !r[c.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// panic edges to Exit; the a() after it is dead and must not be
+	// reachable, while b() on the non-panicking path is.
+	if got := blocksWithCall(c, "a"); len(got) != 0 {
+		t.Errorf("code after panic reachable in %d blocks, want 0", len(got))
+	}
+	if got := blocksWithCall(c, "b"); len(got) == 0 {
+		t.Error("non-panicking path unreachable")
+	}
+}
+
+func TestCFGDeferStaysVisible(t *testing.T) {
+	c := buildTestCFG(t, "defer a()\nif c {\n return\n}\nb()")
+	// The DeferStmt is an ordinary node on the path — analyzers read
+	// "defer executed on this path" as "runs at every exit from here".
+	found := false
+	for b := range reachable(c) {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("defer statement not recorded in any reachable block")
+	}
+}
+
+func TestCFGSelectNoDefault(t *testing.T) {
+	c := buildTestCFG(t, "select {\ncase <-ch:\n a()\ncase ch <- n:\n b()\n}\nd()")
+	if !reachable(c)[c.Exit] {
+		t.Fatal("exit unreachable past select")
+	}
+	for _, fn := range []string{"a", "b", "d"} {
+		if len(blocksWithCall(c, fn)) == 0 {
+			t.Errorf("call %s() not in any reachable block", fn)
+		}
+	}
+}
+
+// TestForwardConstancy drives the dataflow framework directly with a
+// trivial "saw a call to mark()" analysis: the fact must be true at the
+// join only when both paths set it.
+func TestForwardConstancy(t *testing.T) {
+	c := buildTestCFG(t, "if c {\n mark()\n} else {\n a()\n}\nb()")
+	in := c.Forward(FlowAnalysis{
+		Entry: func() any { return false },
+		Transfer: func(fact any, n ast.Node) any {
+			saw := fact.(bool)
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+						saw = true
+					}
+				}
+				return true
+			})
+			return saw
+		},
+		Join:  func(a, b any) any { return a.(bool) && b.(bool) },
+		Equal: func(a, b any) bool { return a == b },
+	})
+	exit, ok := in[c.Exit]
+	if !ok {
+		t.Fatal("no fact at exit")
+	}
+	if exit.(bool) {
+		t.Error("mark() on one arm only must not survive the must-join")
+	}
+
+	c2 := buildTestCFG(t, "if c {\n mark()\n} else {\n mark()\n}\nb()")
+	in2 := c2.Forward(FlowAnalysis{
+		Entry: func() any { return false },
+		Transfer: func(fact any, n ast.Node) any {
+			saw := fact.(bool)
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+						saw = true
+					}
+				}
+				return true
+			})
+			return saw
+		},
+		Join:  func(a, b any) any { return a.(bool) && b.(bool) },
+		Equal: func(a, b any) bool { return a == b },
+	})
+	if exit2 := in2[c2.Exit]; !exit2.(bool) {
+		t.Error("mark() on both arms must survive the must-join")
+	}
+}

@@ -17,6 +17,19 @@
 //   - errdrop: discarded error returns in simulator code hide broken
 //     bitstreams and truncated traces.
 //
+// The interprocedural layer (CFG builder, static call graph, forward
+// dataflow framework — see cfg.go, callgraph.go, dataflow.go) carries
+// four more analyzers:
+//
+//   - gatecheck: every par.Gate slot acquired must be released on all
+//     CFG paths, error returns and panics included.
+//   - ctxcheck: ctx-receiving service functions must propagate their
+//     context and observe Done/Err in unbounded loops.
+//   - lockcheck: no channel op, network call, or Gate.Acquire while a
+//     sync.Mutex/RWMutex is held (one call level deep).
+//   - detflow: map-iteration order must not reach float accumulators or
+//     wire-visible output, even through one helper-function hop.
+//
 // Findings support //lint:ignore <analyzer> <reason> suppressions on the
 // finding's line or the line above it.
 package lint
@@ -58,6 +71,11 @@ type Pass struct {
 	TypesInfo *types.Info
 	PkgPath   string
 
+	// Prog is the module-wide view shared by every pass of one
+	// RunAnalyzers call: the interprocedural analyzers reach the call
+	// graph, cached CFGs, and function summaries through it.
+	Prog *Program
+
 	findings *[]Finding
 }
 
@@ -82,6 +100,10 @@ func All() []*Analyzer {
 		ParCheck,
 		PoolCheck,
 		ErrDrop,
+		GateCheck,
+		CtxCheck,
+		LockCheck,
+		DetFlow,
 	}
 }
 
@@ -101,6 +123,7 @@ func ByName(name string) *Analyzer {
 // tests only, never by the production driver.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
+	prog := NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if a.Scope != nil && !a.Scope(pkg.PkgPath) {
@@ -113,6 +136,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				PkgPath:   pkg.PkgPath,
+				Prog:      prog,
 				findings:  &findings,
 			}
 			a.Run(pass)

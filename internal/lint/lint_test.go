@@ -12,10 +12,13 @@ import (
 
 // loadFixture parses and type-checks one testdata/src package under a
 // synthetic import path that satisfies the analyzers' Scope functions.
+// The whole testdata/src tree is mapped as a synthetic module so
+// fixtures can import each other — in particular the par stub that the
+// gatecheck and lockcheck fixtures acquire slots from.
 func loadFixture(t *testing.T, name string) *Package {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", name)
-	pkg, err := LoadDir(dir, "burstlink/internal/"+name)
+	root := filepath.Join("testdata", "src")
+	pkg, err := LoadTree(root, "burstlink/internal", "burstlink/internal/"+name)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", name, err)
 	}
@@ -128,6 +131,22 @@ func TestErrDropFixture(t *testing.T) {
 	checkFixture(t, "errdropfix", []*Analyzer{ErrDrop})
 }
 
+func TestGateCheckFixture(t *testing.T) {
+	checkFixture(t, "gatefix", []*Analyzer{GateCheck})
+}
+
+func TestCtxCheckFixture(t *testing.T) {
+	checkFixture(t, "exp/ctxfix", []*Analyzer{CtxCheck})
+}
+
+func TestLockCheckFixture(t *testing.T) {
+	checkFixture(t, "lockfix", []*Analyzer{LockCheck})
+}
+
+func TestDetFlowFixture(t *testing.T) {
+	checkFixture(t, "detflowfix", []*Analyzer{DetFlow})
+}
+
 // TestIgnoreDirectives drives the full pipeline over the ignorefix
 // package: three suppressed sites must vanish, and the malformed or
 // mis-targeted directives must leave their findings standing.
@@ -176,6 +195,66 @@ func TestJSONGolden(t *testing.T) {
 	}
 }
 
+// TestSARIFGolden pins the -sarif schema — ruleId, level, and
+// physicalLocation must stay exactly as SARIF 2.1.0 consumers expect —
+// against testdata/golden.sarif. Set UPDATE_GOLDEN=1 to regenerate.
+func TestSARIFGolden(t *testing.T) {
+	pkg := loadFixture(t, "jsonfix")
+	findings := RunAnalyzers([]*Package{pkg}, All())
+	if len(findings) == 0 {
+		t.Fatal("jsonfix produced no findings; the SARIF golden needs results to pin")
+	}
+	for i := range findings {
+		findings[i].Pos.Filename = filepath.ToSlash(filepath.Base(findings[i].Pos.Filename))
+	}
+	got, err := json.MarshalIndent(SARIFReport(findings, All(), ""), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "golden.sarif")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("-sarif output drifted from golden file:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Structural invariants, independent of the golden bytes.
+	log := SARIFReport(findings, All(), "")
+	if log.Version != "2.1.0" {
+		t.Errorf("sarif version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("sarif runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if got, want := len(run.Results), len(findings); got != want {
+		t.Errorf("sarif results = %d, want %d", got, want)
+	}
+	if got, want := len(run.Tool.Driver.Rules), len(All()); got != want {
+		t.Errorf("sarif rules = %d, want %d (one per analyzer)", got, want)
+	}
+	for _, r := range run.Results {
+		if r.Level != "error" {
+			t.Errorf("result level = %q, want error", r.Level)
+		}
+		if r.RuleID != run.Tool.Driver.Rules[r.RuleIndex].ID {
+			t.Errorf("ruleIndex %d does not point at ruleId %s", r.RuleIndex, r.RuleID)
+		}
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result %s missing its physicalLocation", r.RuleID)
+		}
+	}
+}
+
 // TestReportEmpty pins the zero-finding JSON shape: findings must be an
 // empty array, never null.
 func TestReportEmpty(t *testing.T) {
@@ -212,6 +291,14 @@ func TestScopes(t *testing.T) {
 		{ParCheck, "burstlink/cmd/blkload", true},
 		{ErrDrop, "burstlink/internal/trace", true},
 		{ErrDrop, "burstlink/cmd/blkv", false},
+		{CtxCheck, "burstlink/internal/server", true},
+		{CtxCheck, "burstlink/internal/api", true},
+		{CtxCheck, "burstlink/internal/exp", true},
+		{CtxCheck, "burstlink/internal/exp/ctxfix", true},
+		{CtxCheck, "burstlink/internal/codec", false},
+		{CtxCheck, "burstlink/cmd/burstlink", false},
+		{DetFlow, "burstlink/internal/exp", true},
+		{DetFlow, "burstlink/cmd/blkv", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Scope(c.pkgPath); got != c.want {
@@ -220,6 +307,12 @@ func TestScopes(t *testing.T) {
 	}
 	if PoolCheck.Scope != nil {
 		t.Error("poolcheck should apply everywhere (nil Scope)")
+	}
+	if GateCheck.Scope != nil {
+		t.Error("gatecheck should apply everywhere (nil Scope)")
+	}
+	if LockCheck.Scope != nil {
+		t.Error("lockcheck should apply everywhere (nil Scope)")
 	}
 }
 

@@ -115,6 +115,18 @@ func LoadDir(dir string, pkgPath string) (*Package, error) {
 	return ld.load(pkgPath)
 }
 
+// LoadTree maps every package directory under root as modPath/<rel> and
+// loads pkgPath from that synthetic module — the fixture entry point
+// that lets testdata packages import each other (e.g. the stub
+// burstlink/internal/par the gatecheck fixtures acquire slots from).
+func LoadTree(root, modPath, pkgPath string) (*Package, error) {
+	ld := newLoader(root, modPath)
+	if err := ld.discover(); err != nil {
+		return nil, err
+	}
+	return ld.load(pkgPath)
+}
+
 func newLoader(modRoot, modPath string) *loader {
 	fset := token.NewFileSet()
 	return &loader{

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output (the static-analysis interchange format GitHub code
+// scanning and most SARIF viewers ingest). One run, one tool driver with
+// a rule per analyzer, one result per finding. Only the fields consumers
+// actually read are emitted; the golden test pins ruleId, level, and
+// physicalLocation so the schema cannot drift silently.
+
+// SARIFLog is the document root.
+type SARIFLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+// SARIFRun is the single analysis run.
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+// SARIFTool wraps the driver description.
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+// SARIFDriver names blklint and lists one rule per analyzer.
+type SARIFDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []SARIFRule `json:"rules"`
+}
+
+// SARIFRule is one analyzer as a reportable rule.
+type SARIFRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SARIFMessage `json:"shortDescription"`
+}
+
+// SARIFMessage is SARIF's text wrapper.
+type SARIFMessage struct {
+	Text string `json:"text"`
+}
+
+// SARIFResult is one finding.
+type SARIFResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   SARIFMessage    `json:"message"`
+	Locations []SARIFLocation `json:"locations"`
+}
+
+// SARIFLocation wraps the physical location.
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+}
+
+// SARIFPhysicalLocation is file + region.
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Region           SARIFRegion           `json:"region"`
+}
+
+// SARIFArtifactLocation is the repo-relative file URI.
+type SARIFArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// SARIFRegion is the 1-based start position.
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SARIFReport converts findings to a SARIF 2.1.0 log. Every analyzer in
+// analyzers becomes a rule (so a clean run still advertises what was
+// checked); file paths are made relative to root and slash-separated so
+// the log is stable across checkouts. Findings gate CI, hence level
+// "error".
+func SARIFReport(findings []Finding, analyzers []*Analyzer, root string) SARIFLog {
+	driver := SARIFDriver{
+		Name:           "blklint",
+		InformationURI: "https://example.com/burstlink/blklint",
+		Rules:          make([]SARIFRule, 0, len(analyzers)),
+	}
+	index := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		index[a.Name] = i
+		driver.Rules = append(driver.Rules, SARIFRule{
+			ID:               a.Name,
+			ShortDescription: SARIFMessage{Text: a.Doc},
+		})
+	}
+	results := make([]SARIFResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, SARIFResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: index[f.Analyzer],
+			Level:     "error",
+			Message:   SARIFMessage{Text: f.Message},
+			Locations: []SARIFLocation{{
+				PhysicalLocation: SARIFPhysicalLocation{
+					ArtifactLocation: SARIFArtifactLocation{URI: sarifURI(f.Pos.Filename, root)},
+					Region:           SARIFRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	return SARIFLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []SARIFRun{{Tool: SARIFTool{Driver: driver}, Results: results}},
+	}
+}
+
+// sarifURI makes path relative to root (when possible) with forward
+// slashes — the artifact form code-scanning UIs match against the repo
+// tree.
+func sarifURI(path, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+			path = rel
+		}
+	}
+	return filepath.ToSlash(path)
+}

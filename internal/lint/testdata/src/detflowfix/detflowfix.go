@@ -1,0 +1,99 @@
+// Package detflowfix exercises detflow: map-iteration order carried by
+// a slice or string must be sorted away before it reaches a float
+// accumulator or wire-visible output — including through one helper
+// call, which is the hop plain determcheck cannot see.
+package detflowfix
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// valuesOf returns the map's values in iteration order: the tainted
+// helper the one-level summaries expose to callers.
+func valuesOf(m map[string]float64) []float64 {
+	var vs []float64
+	for _, v := range m {
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+// joinKeys concatenates keys in iteration order — the string taint.
+func joinKeys(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// badSumThroughHelper accumulates floats over the helper's mis-ordered
+// slice: the low bits of total differ run to run.
+func badSumThroughHelper(m map[string]float64) float64 {
+	vs := valuesOf(m)
+	total := 0.0
+	for _, v := range vs {
+		total += v // want "float accumulation over vs, which was built in map-iteration order"
+	}
+	return total
+}
+
+// okSumSorted restores a canonical order first.
+func okSumSorted(m map[string]float64) float64 {
+	vs := valuesOf(m)
+	sort.Float64s(vs)
+	total := 0.0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+
+// badEmitKeys writes map-ordered bytes to the wire.
+func badEmitKeys(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	fmt.Fprintf(w, "%v\n", keys) // want "keys is in map-iteration order and reaches fmt.Fprintf"
+}
+
+// badMarshalKeys serializes a map-ordered slice: two runs of the same
+// scenario produce different JSON.
+func badMarshalKeys(m map[string]int) ([]byte, error) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return json.Marshal(keys) // want "keys is in map-iteration order and reaches json.Marshal"
+}
+
+// badEncodeThroughHelper taints through the string-returning helper and
+// sinks into an Encoder.
+func badEncodeThroughHelper(enc *json.Encoder, m map[string]int) error {
+	s := joinKeys(m)
+	return enc.Encode(s) // want "s is in map-iteration order and reaches json.Encoder.Encode"
+}
+
+// okEmitSorted sorts before emitting.
+func okEmitSorted(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "%v\n", keys)
+}
+
+// okInsideLoopVar restarts per iteration: nothing order-dependent
+// escapes the loop body.
+func okInsideLoopVar(w io.Writer, m map[string]int) {
+	for k := range m {
+		line := ""
+		line += k
+		_ = line
+	}
+}

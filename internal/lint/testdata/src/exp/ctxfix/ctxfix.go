@@ -1,0 +1,82 @@
+// Package ctxfix exercises ctxcheck. Its import path ends in
+// internal/exp/ctxfix, which puts it inside the analyzer's scope the
+// same way the real experiment package is.
+package ctxfix
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+func step(ctx context.Context) error { return ctx.Err() }
+
+func observe(string) {}
+
+// okPropagates hands its own ctx down the call chain.
+func okPropagates(ctx context.Context) error {
+	return step(ctx)
+}
+
+// badSevers was given a ctx and then starts the chain over: the
+// caller's timeout can no longer stop the callee.
+func badSevers(ctx context.Context) error {
+	_ = ctx
+	return step(context.Background()) // want "context.Background.. passed to a callee while this function received a ctx"
+}
+
+// badTODO is the same severing through context.TODO.
+func badTODO(ctx context.Context) error {
+	_ = ctx
+	return step(context.TODO()) // want "context.TODO.. passed to a callee while this function received a ctx"
+}
+
+// okNoCtxParam never received a context, so starting one is its job.
+func okNoCtxParam() error {
+	return step(context.Background())
+}
+
+// badUnboundedLoop does work forever without ever looking at ctx: a
+// cancelled caller leaves this loop running.
+func badUnboundedLoop(ctx context.Context) {
+	_ = ctx
+	for { // want "unbounded for-loop performs work without observing the context"
+		observe("tick")
+	}
+}
+
+// okLoopChecksErr polls ctx.Err each iteration.
+func okLoopChecksErr(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		observe("tick")
+	}
+}
+
+// okLoopSelectsDone blocks on ctx.Done alongside the work channel.
+func okLoopSelectsDone(ctx context.Context, ticks <-chan string) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case s := <-ticks:
+			observe(s)
+		}
+	}
+}
+
+// okCASRetry spins only on atomic state: it terminates on memory, not
+// on work, and is exempt by design (the server's peak tracker).
+func okCASRetry(ctx context.Context, peak *atomic.Int64, v int64) {
+	_ = ctx
+	for {
+		cur := peak.Load()
+		if cur >= v {
+			return
+		}
+		if peak.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

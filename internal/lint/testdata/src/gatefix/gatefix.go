@@ -1,0 +1,138 @@
+// Package gatefix exercises gatecheck: par.Gate slots must be released
+// on every CFG path out of the function, error returns and panics
+// included. The clean functions mirror the real server admission path;
+// the leaky ones are the shapes the analyzer must catch.
+package gatefix
+
+import (
+	"context"
+
+	"burstlink/internal/par"
+)
+
+func work() {}
+
+// --- clean shapes: the idioms production code uses ---
+
+// okTryDefer is the canonical TryAcquire idiom: the false edge never
+// holds, the true edge defers the release.
+func okTryDefer(g *par.Gate) bool {
+	if !g.TryAcquire() {
+		return false
+	}
+	defer g.Release()
+	work()
+	return true
+}
+
+// okAcquireDefer is the blocking idiom: the error edge never holds.
+func okAcquireDefer(ctx context.Context, g *par.Gate) error {
+	if err := g.Acquire(ctx); err != nil {
+		return err
+	}
+	defer g.Release()
+	work()
+	return nil
+}
+
+// okExplicitRelease releases on both the early-out and the fallthrough.
+func okExplicitRelease(g *par.Gate, early bool) {
+	if !g.TryAcquire() {
+		return
+	}
+	if early {
+		g.Release()
+		return
+	}
+	work()
+	g.Release()
+}
+
+// okPanicWithDefer survives the panic path because the deferred release
+// runs during unwinding.
+func okPanicWithDefer(ctx context.Context, g *par.Gate, bad bool) error {
+	if err := g.Acquire(ctx); err != nil {
+		return err
+	}
+	defer g.Release()
+	if bad {
+		panic("boom")
+	}
+	return nil
+}
+
+// okHelperRelease releases through a one-level helper.
+func okHelperRelease(ctx context.Context, g *par.Gate) error {
+	if err := g.Acquire(ctx); err != nil {
+		return err
+	}
+	work()
+	releaseGate(g)
+	return nil
+}
+
+func releaseGate(g *par.Gate) {
+	g.Release()
+}
+
+// okBoundVar binds the TryAcquire result and branches on it later.
+func okBoundVar(g *par.Gate) {
+	ok := g.TryAcquire()
+	if !ok {
+		return
+	}
+	defer g.Release()
+	work()
+}
+
+// --- leaky shapes ---
+
+// leakDiscarded drops the Acquire error and never releases: the slot is
+// definitely held at every return.
+func leakDiscarded(ctx context.Context, g *par.Gate) {
+	g.Acquire(ctx) // want "gate slot acquired on g is not released"
+	work()
+}
+
+// leakEarlyReturn releases on the fallthrough but not on the early out.
+func leakEarlyReturn(ctx context.Context, g *par.Gate, early bool) error {
+	if err := g.Acquire(ctx); err != nil { // want "gate slot acquired on g is not released on every path"
+		return err
+	}
+	if early {
+		return nil
+	}
+	g.Release()
+	return nil
+}
+
+// leakTryBranch holds on the true edge and falls off the end of it.
+func leakTryBranch(g *par.Gate) {
+	if g.TryAcquire() { // want "gate slot acquired on g is not released"
+		work()
+	}
+}
+
+// leakPanicPath releases on the normal path, but a panic unwinds past
+// the release with the slot still held — only a defer covers that edge.
+func leakPanicPath(ctx context.Context, g *par.Gate, bad bool) error {
+	if err := g.Acquire(ctx); err != nil { // want "gate slot acquired on g is not released on every path"
+		return err
+	}
+	if bad {
+		panic("boom")
+	}
+	g.Release()
+	return nil
+}
+
+// leakInFuncLit leaks inside the literal: a goroutine's slot is its own
+// to release, whatever the enclosing function does.
+func leakInFuncLit(ctx context.Context, g *par.Gate) {
+	go func() {
+		if err := g.Acquire(ctx); err != nil { // want "gate slot acquired on g is not released"
+			return
+		}
+		work()
+	}()
+}

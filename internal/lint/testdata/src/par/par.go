@@ -1,0 +1,44 @@
+// Package par is a stub of burstlink/internal/par for fixture tests:
+// just enough surface (Gate with TryAcquire/Acquire/Release) for the
+// gatecheck and lockcheck fixtures to type-check without compiling the
+// real module from source. gatecheck matches the type by the
+// .../internal/par package-path suffix, so this stub resolves exactly
+// like the real Gate.
+package par
+
+import "context"
+
+// Gate is the admission-gate stub.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a gate with n slots.
+func NewGate(n int) *Gate {
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// TryAcquire takes a slot without blocking.
+func (g *Gate) TryAcquire() bool {
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Acquire blocks for a slot or for ctx.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot.
+func (g *Gate) Release() {
+	<-g.slots
+}

@@ -59,6 +59,55 @@ func TestGateReleaseUnheldPanics(t *testing.T) {
 	NewGate(1).Release()
 }
 
+// TestGateLeakExhaustsCapacity is the runtime twin of the static
+// gatecheck fixture (internal/lint/testdata/src/gatefix, leakDiscarded):
+// a caller that acquires without releasing silently shrinks the gate
+// until nothing is admitted any more. gatecheck flags the leaky shape at
+// build time; this test demonstrates the failure mode it prevents.
+func TestGateLeakExhaustsCapacity(t *testing.T) {
+	// blklint never loads _test.go files, so this deliberately leaky
+	// shape needs no suppression here; the same shape in non-test code
+	// is a gatecheck error.
+	leaky := func(g *Gate, ctx context.Context) error {
+		if err := g.Acquire(ctx); err != nil {
+			return err
+		}
+		return nil // slot never released: the bug gatecheck exists to catch
+	}
+
+	g := NewGate(2)
+	for i := 0; i < 2; i++ {
+		if err := leaky(g, context.Background()); err != nil {
+			t.Fatalf("leaky acquire %d: %v", i, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Acquire on leaked-dry gate = %v, want DeadlineExceeded", err)
+	}
+
+	// The fixed shape — defer the Release — admits indefinitely on a gate
+	// of the same width.
+	fixed := func(g *Gate, ctx context.Context) error {
+		if err := g.Acquire(ctx); err != nil {
+			return err
+		}
+		defer g.Release()
+		return nil
+	}
+	g2 := NewGate(2)
+	for i := 0; i < 10; i++ {
+		if err := fixed(g2, context.Background()); err != nil {
+			t.Fatalf("fixed acquire %d: %v", i, err)
+		}
+	}
+	if !g2.TryAcquire() {
+		t.Fatal("gate with deferred releases lost capacity")
+	}
+	g2.Release()
+}
+
 func TestGateBoundsConcurrency(t *testing.T) {
 	const n, width = 256, 4
 	g := NewGate(width)

@@ -445,6 +445,10 @@ func (s *Server) ServeListener(ctx context.Context, l net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// The serve ctx is already canceled here; a drain context derived
+		// from it would make Shutdown return immediately instead of
+		// granting the grace period.
+		//lint:ignore ctxcheck drain deadline must outlive the canceled serve ctx
 		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(dctx); err != nil {
