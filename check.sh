@@ -54,6 +54,7 @@ echo "== fuzz smoke (5s each)"
 go test -run='^$' -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=5s ./internal/codec
 go test -run='^$' -fuzz=FuzzResolutionFrameSize -fuzztime=5s ./internal/units
 go test -run='^$' -fuzz=FuzzAPIDecodeRequest -fuzztime=5s ./internal/api
+go test -run='^$' -fuzz=FuzzSegmentKey -fuzztime=5s ./internal/memo
 
 echo "== service binaries respond to -help"
 go run ./cmd/blkd -help

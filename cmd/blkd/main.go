@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	blkd [-addr :8080] [-cache 4096] [-concurrency N] [-queue 64]
-//	     [-timeout 30s] [-drain 10s] [-no-coalesce]
+//	blkd [-addr :8080] [-cache 4096] [-segcache 8192] [-concurrency N]
+//	     [-queue 64] [-timeout 30s] [-drain 10s] [-no-coalesce]
 //
 // Endpoints:
 //
@@ -40,6 +40,7 @@ func main() {
 	fs := flag.NewFlagSet("blkd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheN := fs.Int("cache", 4096, "scenario result cache entries (0 disables caching)")
+	segN := fs.Int("segcache", 8192, "delta-simulation segment cache entries (0 disables delta simulation)")
 	conc := fs.Int("concurrency", 0, "max concurrent model executions (0 = 2×GOMAXPROCS)")
 	queue := fs.Int("queue", 64, "max requests queued for an execution slot before 429")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request execution deadline")
@@ -53,20 +54,22 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Addr:            *addr,
-		MaxConcurrent:   *conc,
-		QueueDepth:      *queue,
-		CacheEntries:    *cacheN,
-		DisableCache:    *cacheN == 0,
-		DisableCoalesce: *noCoalesce,
-		RequestTimeout:  *timeout,
-		DrainTimeout:    *drain,
+		Addr:                *addr,
+		MaxConcurrent:       *conc,
+		QueueDepth:          *queue,
+		CacheEntries:        *cacheN,
+		DisableCache:        *cacheN == 0,
+		SegmentCacheEntries: *segN,
+		DisableDelta:        *segN == 0,
+		DisableCoalesce:     *noCoalesce,
+		RequestTimeout:      *timeout,
+		DrainTimeout:        *drain,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("blkd listening on %s (cache=%d, queue=%d, timeout=%v)", *addr, *cacheN, *queue, *timeout)
+	log.Printf("blkd listening on %s (cache=%d, segcache=%d, queue=%d, timeout=%v)", *addr, *cacheN, *segN, *queue, *timeout)
 	if err := srv.ListenAndServe(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "blkd:", err)
 		os.Exit(1)

@@ -9,7 +9,13 @@
 // Usage:
 //
 //	blkload [-url http://127.0.0.1:8080] [-c 64] [-n 2000]
-//	        [-dup 0.5] [-seed 1] [-json report.json]
+//	        [-dup 0.5] [-sweep] [-seed 1] [-json report.json]
+//
+// -sweep switches the schedule to an axis-neighbor walk (each new
+// configuration moves exactly one knob), the sweep-shaped workload the
+// server's delta-simulation segment cache exploits. After the run,
+// blkload samples GET /v1/stats and reports the server-side segment
+// cache counters alongside the client-observed result cache ratios.
 package main
 
 import (
@@ -30,6 +36,7 @@ func main() {
 	c := fs.Int("c", 64, "closed-loop worker count")
 	n := fs.Int("n", 2000, "total requests")
 	dup := fs.Float64("dup", 0.5, "fraction of requests duplicating an earlier one [0,1)")
+	sweep := fs.Bool("sweep", false, "axis-neighbor sweep schedule (one knob moves per new configuration)")
 	seed := fs.Int64("seed", 1, "schedule seed")
 	jsonOut := fs.String("json", "", "also write the report as JSON to this file")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -48,6 +55,7 @@ func main() {
 		Concurrency: *c,
 		Requests:    *n,
 		DupRate:     *dup,
+		Sweep:       *sweep,
 		Seed:        *seed,
 		Now:         time.Now,
 	})
@@ -57,6 +65,11 @@ func main() {
 	}
 
 	printReport(os.Stdout, report)
+	if stats, err := client.Stats(context.Background()); err == nil {
+		printSegmentStats(os.Stdout, stats)
+	} else {
+		fmt.Fprintln(os.Stderr, "blkload: stats:", err)
+	}
 	if report.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "blkload: %d/%d requests failed (first: %s)\n",
 			report.Errors, report.Requests, report.FirstError)
@@ -89,4 +102,11 @@ func printReport(w *os.File, r api.LoadReport) {
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
 	fmt.Fprintf(w, "cache       %d hits, %d coalesced, %d misses (hit ratio %.2f)\n",
 		r.Hits, r.Coalesced, r.Misses, r.HitRatio)
+}
+
+// printSegmentStats renders the server-side delta-simulation segment
+// cache counters from /v1/stats.
+func printSegmentStats(w *os.File, s api.Stats) {
+	fmt.Fprintf(w, "segments    %d hits, %d misses, %d coalesced, %d evictions (hit ratio %.2f, %d entries)\n",
+		s.SegmentHits, s.SegmentMisses, s.SegmentCoalesced, s.SegmentEvictions, s.SegmentHitRatio, s.SegmentEntries)
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"burstlink/internal/api"
+	"burstlink/internal/server"
+)
+
+// bench-json serve -sweep measures delta simulation (internal/memo +
+// session.Engine, DESIGN.md §4.9) rather than the service layer: an
+// axis-neighbor sweep schedule — each new cell moves exactly one knob —
+// runs once against a server with the segment cache enabled and once
+// against a server doing full scratch simulation (full timeline
+// expansion, no segment reuse). The result cache and request coalescing
+// are disabled in BOTH arms so every request actually simulates; the
+// throughput ratio is what segment-level memoization alone buys on
+// sweep-shaped load.
+
+// deltaReport is the top-level BENCH_delta.json document.
+type deltaReport struct {
+	Concurrency int            `json:"concurrency"`
+	Requests    int            `json:"requests"`
+	DupRate     float64        `json:"dup_rate"`
+	Seed        int64          `json:"seed"`
+	Delta       api.LoadReport `json:"delta"`
+	Scratch     api.LoadReport `json:"scratch"`
+	// Segment* snapshot the delta arm's server-side segment cache.
+	SegmentHits      uint64  `json:"segment_hits"`
+	SegmentMisses    uint64  `json:"segment_misses"`
+	SegmentCoalesced uint64  `json:"segment_coalesced"`
+	SegmentHitRatio  float64 `json:"segment_hit_ratio"`
+	// Speedup is delta throughput over scratch throughput.
+	Speedup float64 `json:"speedup"`
+}
+
+// benchDelta runs the scratch-vs-delta comparison and writes out.
+func benchDelta(out string, opts api.LoadOptions) error {
+	opts.Sweep = true
+
+	delta, stats, err := runServeLoad(server.Config{DisableCache: true, DisableCoalesce: true}, opts)
+	if err != nil {
+		return fmt.Errorf("bench delta (delta): %w", err)
+	}
+	if delta.Errors > 0 {
+		return fmt.Errorf("bench delta (delta): %d request errors (first: %s)", delta.Errors, delta.FirstError)
+	}
+	scratch, _, err := runServeLoad(server.Config{DisableCache: true, DisableCoalesce: true, DisableDelta: true}, opts)
+	if err != nil {
+		return fmt.Errorf("bench delta (scratch): %w", err)
+	}
+	if scratch.Errors > 0 {
+		return fmt.Errorf("bench delta (scratch): %d request errors (first: %s)", scratch.Errors, scratch.FirstError)
+	}
+
+	report := deltaReport{
+		Concurrency:      opts.Concurrency,
+		Requests:         opts.Requests,
+		DupRate:          opts.DupRate,
+		Seed:             opts.Seed,
+		Delta:            delta,
+		Scratch:          scratch,
+		SegmentHits:      stats.SegmentHits,
+		SegmentMisses:    stats.SegmentMisses,
+		SegmentCoalesced: stats.SegmentCoalesced,
+		SegmentHitRatio:  stats.SegmentHitRatio,
+	}
+	if scratch.Throughput > 0 {
+		report.Speedup = delta.Throughput / scratch.Throughput
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("delta sweep (c=%d, n=%d, axis-neighbor cells)\n", opts.Concurrency, opts.Requests)
+	fmt.Printf("  delta     %8.1f req/s  p50 %8v  p99 %8v  segment hit ratio %.2f\n",
+		delta.Throughput, delta.P50.Round(time.Microsecond), delta.P99.Round(time.Microsecond), stats.SegmentHitRatio)
+	fmt.Printf("  scratch   %8.1f req/s  p50 %8v  p99 %8v\n",
+		scratch.Throughput, scratch.P50.Round(time.Microsecond), scratch.P99.Round(time.Microsecond))
+	fmt.Printf("  speedup   %.2fx\n", report.Speedup)
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

@@ -32,27 +32,30 @@ type serveReport struct {
 }
 
 // runServeLoad starts an in-process server, drives the load schedule
-// through it, and drains it.
-func runServeLoad(cfg server.Config, opts api.LoadOptions) (api.LoadReport, error) {
+// through it, drains it, and returns the load report plus the server's
+// final counters (the segment-cache numbers live there).
+func runServeLoad(cfg server.Config, opts api.LoadOptions) (api.LoadReport, api.Stats, error) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return api.LoadReport{}, err
+		return api.LoadReport{}, api.Stats{}, err
 	}
 	srv := server.New(cfg)
 	stop := srv.Start(l)
 	rep, err := api.RunLoad(context.Background(), api.NewClient("http://"+l.Addr().String()), opts)
+	stats := srv.Stats()
 	if serr := stop(); err == nil {
 		err = serr
 	}
-	return rep, err
+	return rep, stats, err
 }
 
 func benchServeCmd(args []string) error {
 	fs := flag.NewFlagSet("bench-json serve", flag.ContinueOnError)
-	out := fs.String("o", "BENCH_serve.json", "output JSON file")
+	out := fs.String("o", "", "output JSON file (default BENCH_serve.json, BENCH_delta.json with -sweep)")
 	c := fs.Int("c", 64, "closed-loop worker count")
 	n := fs.Int("n", 1000, "total requests per run")
 	dup := fs.Float64("dup", 0.5, "duplicate-scenario fraction [0,1)")
+	sweep := fs.Bool("sweep", false, "sweep-heavy workload: axis-neighbor cells, delta vs scratch simulation")
 	seed := fs.Int64("seed", 1, "schedule seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,15 +68,24 @@ func benchServeCmd(args []string) error {
 		Seed:        *seed,
 		Now:         time.Now,
 	}
+	if *sweep {
+		if *out == "" {
+			*out = "BENCH_delta.json"
+		}
+		return benchDelta(*out, opts)
+	}
+	if *out == "" {
+		*out = "BENCH_serve.json"
+	}
 
-	cached, err := runServeLoad(server.Config{}, opts)
+	cached, _, err := runServeLoad(server.Config{}, opts)
 	if err != nil {
 		return fmt.Errorf("bench serve (cached): %w", err)
 	}
 	if cached.Errors > 0 {
 		return fmt.Errorf("bench serve (cached): %d request errors (first: %s)", cached.Errors, cached.FirstError)
 	}
-	uncached, err := runServeLoad(server.Config{DisableCache: true, DisableCoalesce: true}, opts)
+	uncached, _, err := runServeLoad(server.Config{DisableCache: true, DisableCoalesce: true}, opts)
 	if err != nil {
 		return fmt.Errorf("bench serve (uncached): %w", err)
 	}

@@ -21,6 +21,7 @@ import (
 
 	"burstlink/internal/core"
 	"burstlink/internal/exp"
+	"burstlink/internal/memo"
 	"burstlink/internal/pipeline"
 	"burstlink/internal/power"
 	"burstlink/internal/session"
@@ -194,11 +195,14 @@ func functionalCmd(args []string) error {
 	p := pipeline.DefaultPlatform()
 	cfg := pipeline.FunctionalConfig{Width: 128, Height: 96, Frames: *frames, FPS: 30, Refresh: 60}
 
-	base, err := pipeline.RunFunctional(p, cfg)
+	// Both runs exercise the same synthetic content; the segment cache
+	// shares the encode between them.
+	seg := memo.NewCache(8)
+	base, err := pipeline.RunFunctionalMemo(p, seg, cfg)
 	if err != nil {
 		return err
 	}
-	bl, err := core.RunFunctional(p, cfg)
+	bl, err := core.RunFunctionalMemo(p, seg, cfg)
 	if err != nil {
 		return err
 	}

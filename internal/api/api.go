@@ -156,6 +156,15 @@ type Stats struct {
 	CacheEntries int     `json:"cache_entries"`
 	HitRatio     float64 `json:"hit_ratio"`
 	MaxInFlight  int     `json:"max_in_flight"`
+	// Segment* expose the delta-simulation segment cache that sits under
+	// the result cache: per-segment (buffer / timeline / power-period)
+	// hits, misses, evictions, and coalesced computations.
+	SegmentHits      uint64  `json:"segment_hits"`
+	SegmentMisses    uint64  `json:"segment_misses"`
+	SegmentEvictions uint64  `json:"segment_evictions"`
+	SegmentCoalesced uint64  `json:"segment_coalesced"`
+	SegmentEntries   int     `json:"segment_entries"`
+	SegmentHitRatio  float64 `json:"segment_hit_ratio"`
 }
 
 // ExperimentList is the catalogue served at GET /v1/exp.

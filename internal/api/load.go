@@ -23,6 +23,13 @@ type LoadOptions struct {
 	// duplicates an earlier one — the near-duplicate configuration
 	// workload shape the scenario cache exploits.
 	DupRate float64
+	// Sweep switches the generator from independent unique scenarios to
+	// an axis-neighbor walk: each new configuration differs from the
+	// previous one in exactly one knob (scheme, resolution, fps, length,
+	// or bitrate). This is the sweep-shaped workload the delta-simulation
+	// segment cache exploits: neighboring cells share every segment the
+	// moved knob does not invalidate.
+	Sweep bool
 	// Seed makes the schedule reproducible.
 	Seed int64
 	// Now supplies the wall clock (pass time.Now). It is injected
@@ -60,15 +67,61 @@ func Schedule(opts LoadOptions) []SessionRequest {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	reqs := make([]SessionRequest, opts.Requests)
 	unique := 0
+	cur := uniqueRequest(0)
 	for i := range reqs {
 		if i > 0 && rng.Float64() < opts.DupRate {
 			reqs[i] = reqs[rng.Intn(i)]
 			continue
 		}
-		reqs[i] = uniqueRequest(unique)
+		if opts.Sweep {
+			if unique > 0 {
+				cur = neighborRequest(cur, unique, rng.Intn(5))
+			}
+			reqs[i] = cur
+		} else {
+			reqs[i] = uniqueRequest(unique)
+		}
 		unique++
 	}
 	return reqs
+}
+
+// neighborRequest moves exactly one axis of the previous configuration —
+// the sweep walk's step. step selects the axis; j keeps the bitrate axis
+// marching forward. The walk may revisit cells (cyclic axes wrap), so
+// harnesses that want to measure segment reuse rather than whole-result
+// caching run it with the result cache disabled.
+func neighborRequest(prev SessionRequest, j, step int) SessionRequest {
+	req := prev
+	switch step {
+	case 0:
+		schemes := []string{"conventional", "burst-only", "bypass-only", "burstlink"}
+		for i, s := range schemes {
+			if s == prev.Scheme {
+				req.Scheme = schemes[(i+1)%len(schemes)]
+				break
+			}
+		}
+	case 1:
+		for i, r := range loadResolutions {
+			if r == prev.Resolution {
+				req.Resolution = loadResolutions[(i+1)%len(loadResolutions)]
+				break
+			}
+		}
+	case 2:
+		if req.FPS == 30 {
+			req.FPS = 60
+		} else {
+			req.FPS = 30
+		}
+		req.PrebufferFrames = int(req.FPS)
+	case 3:
+		req.Seconds = 20 + (req.Seconds-20+1)%41
+	default:
+		req.Bitrate = units.DataRate(40+j) * units.Mbps
+	}
+	return req
 }
 
 // loadResolutions are the panel resolutions the generator cycles through.

@@ -1,9 +1,10 @@
-// Package cache provides the scenario-keyed LRU result cache behind
-// blkd's service layer. Every simulation in this repository is a pure
-// function of its canonicalized request (the determinism suite pins
-// that invariant), so a cached response body is provably identical to
-// what a fresh execution would produce — a hit returns byte-identical
-// output, never a stale approximation.
+// Package cache provides the bounded LRU caches behind blkd's service
+// layer: the scenario-keyed result cache (LRU, holding response bodies)
+// and the value store under internal/memo's segment cache (LRUOf). Every
+// simulation in this repository is a pure function of its canonicalized
+// inputs (the determinism suite pins that invariant), so a cached value
+// is provably identical to what a fresh execution would produce — a hit
+// returns byte-identical output, never a stale approximation.
 package cache
 
 import (
@@ -20,21 +21,23 @@ type Stats struct {
 	Evictions uint64
 }
 
-// entry is one cached key/value pair; Elements of LRU.order carry *entry.
-type entry struct {
+// entryOf is one cached key/value pair; Elements of LRUOf.order carry
+// *entryOf[V].
+type entryOf[V any] struct {
 	key string
-	val []byte
+	val V
 }
 
-// LRU is a mutex-guarded, fixed-capacity least-recently-used cache from
-// canonical scenario keys to response bodies. The zero capacity form
-// (NewLRU(0)) is a disabled cache: Get always misses and Put discards,
-// so callers need no separate "caching off" path.
+// LRUOf is a mutex-guarded, fixed-capacity least-recently-used cache from
+// canonical keys to values of type V. The zero capacity form
+// (NewLRUOf[V](0)) is a disabled cache: Get always misses and Put
+// discards, so callers need no separate "caching off" path.
 //
 // Stored values are aliased, not copied: callers must treat a value
-// passed to Put or returned by Get as immutable. The server writes the
-// bytes straight to the wire and never mutates them.
-type LRU struct {
+// passed to Put or returned by Get as immutable. The server writes
+// cached bodies straight to the wire, and the segment cache hands cached
+// timelines to concurrent sweep cells; neither ever mutates them.
+type LRUOf[V any] struct {
 	mu        sync.Mutex
 	capacity  int
 	order     *list.List // front = most recently used
@@ -44,13 +47,13 @@ type LRU struct {
 	evictions uint64
 }
 
-// NewLRU returns a cache holding at most capacity entries. capacity <= 0
+// NewLRUOf returns a cache holding at most capacity entries. capacity <= 0
 // disables the cache entirely.
-func NewLRU(capacity int) *LRU {
+func NewLRUOf[V any](capacity int) *LRUOf[V] {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &LRU{
+	return &LRUOf[V]{
 		capacity: capacity,
 		order:    list.New(),
 		items:    make(map[string]*list.Element),
@@ -58,54 +61,55 @@ func NewLRU(capacity int) *LRU {
 }
 
 // Enabled reports whether the cache can hold entries at all.
-func (c *LRU) Enabled() bool { return c.capacity > 0 }
+func (c *LRUOf[V]) Enabled() bool { return c.capacity > 0 }
 
 // Get returns the value cached under key, marking it most recently used.
-func (c *LRU) Get(key string) ([]byte, bool) {
+func (c *LRUOf[V]) Get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*entry).val, true
+	return el.Value.(*entryOf[V]).val, true
 }
 
 // Put stores val under key, evicting the least recently used entry when
 // the cache is full. Re-putting an existing key refreshes its value and
 // recency.
-func (c *LRU) Put(key string, val []byte) {
+func (c *LRUOf[V]) Put(key string, val V) {
 	if c.capacity <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*entry).val = val
+		el.Value.(*entryOf[V]).val = val
 		c.order.MoveToFront(el)
 		return
 	}
 	if c.order.Len() >= c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry).key)
+		delete(c.items, oldest.Value.(*entryOf[V]).key)
 		c.evictions++
 	}
-	c.items[key] = c.order.PushFront(&entry{key: key, val: val})
+	c.items[key] = c.order.PushFront(&entryOf[V]{key: key, val: val})
 }
 
 // Len returns the current entry count.
-func (c *LRU) Len() int {
+func (c *LRUOf[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
 
 // Stats snapshots the counters.
-func (c *LRU) Stats() Stats {
+func (c *LRUOf[V]) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
@@ -115,4 +119,24 @@ func (c *LRU) Stats() Stats {
 		Misses:    c.misses,
 		Evictions: c.evictions,
 	}
+}
+
+// LRU is the scenario result cache: an LRUOf specialized to response
+// bodies, kept as a named type so the server's call sites read as what
+// they are.
+type LRU struct {
+	LRUOf[[]byte]
+}
+
+// NewLRU returns a body cache holding at most capacity entries.
+// capacity <= 0 disables the cache entirely.
+func NewLRU(capacity int) *LRU {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LRU{LRUOf[[]byte]{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}}
 }

@@ -9,6 +9,7 @@ import (
 	"burstlink/internal/dram"
 	"burstlink/internal/edp"
 	"burstlink/internal/interconnect"
+	"burstlink/internal/memo"
 	"burstlink/internal/pipeline"
 	"burstlink/internal/sim"
 	"burstlink/internal/soc"
@@ -41,10 +42,17 @@ func (b *dcBuffer) Accept(n units.ByteSize) time.Duration {
 // drops the package to C9 for the rest of the period. The DRAM frame
 // buffer is never touched.
 func RunFunctional(p pipeline.Platform, cfg pipeline.FunctionalConfig) (pipeline.FunctionalResult, error) {
+	return RunFunctionalMemo(p, nil, cfg)
+}
+
+// RunFunctionalMemo is RunFunctional with the synthetic encoded stream
+// served through the delta-simulation segment cache (the conventional
+// and BurstLink functional runs over the same content share one encode).
+func RunFunctionalMemo(p pipeline.Platform, c *memo.Cache, cfg pipeline.FunctionalConfig) (pipeline.FunctionalResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return pipeline.FunctionalResult{}, err
 	}
-	packets, sums, err := pipeline.SyntheticVideo(cfg)
+	packets, sums, err := pipeline.SyntheticVideoMemo(c, cfg)
 	if err != nil {
 		return pipeline.FunctionalResult{}, err
 	}

@@ -1,0 +1,10 @@
+package edp
+
+import "burstlink/internal/memo"
+
+// AppendKey renders the link configuration into a canonical segment key.
+func (c LinkConfig) AppendKey(w *memo.KeyWriter) {
+	w.Int("lanes", int64(c.Lanes))
+	w.Float("lanerate", float64(c.LaneRate))
+	w.Float("coding", c.CodingRatio)
+}

@@ -75,8 +75,8 @@ func DayInLife() (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		pb := float64(e.m.Evaluate(tb, lb).Average)
-		pl := float64(e.m.Evaluate(tl, ll).Average)
+		pb := float64(e.eval(tb, lb).Average)
+		pl := float64(e.eval(tl, ll).Average)
 		eBase += pb * seg.hours
 		eBL += pl * seg.hours
 		totalHours += seg.hours

@@ -98,10 +98,10 @@ func FutureDisplays() (Table, error) {
 			return t, err
 		}
 		load := power.LoadOf(p, c.s)
-		rb := float64(e.m.Evaluate(base, load).Average)
+		rb := float64(e.eval(base, load).Average)
 		red := "infeasible"
 		if full, err := core.BurstLink(p, c.s); err == nil {
-			red = pct(1 - float64(e.m.Evaluate(full, load).Average)/rb)
+			red = pct(1 - float64(e.eval(full, load).Average)/rb)
 		}
 		t.Rows = append(t.Rows, []string{c.name, mw(rb), red})
 	}
@@ -131,8 +131,8 @@ func AblationDCBuffer() (Table, error) {
 			return t, err
 		}
 		load := power.LoadOf(p, s)
-		rb := float64(e.m.Evaluate(base, load).Average)
-		rf := float64(e.m.Evaluate(full, load).Average)
+		rb := float64(e.eval(base, load).Average)
+		rf := float64(e.eval(full, load).Average)
 		t.Rows = append(t.Rows, []string{
 			size.String(),
 			strconv.Itoa(base.Entries()[soc.C2]),
@@ -165,10 +165,10 @@ func AblationEDP() (Table, error) {
 			return t, err
 		}
 		load := power.LoadOf(p, s)
-		rb := float64(e.m.Evaluate(base, load).Average)
+		rb := float64(e.eval(base, load).Average)
 		red := "infeasible (burst misses the window)"
 		if full, err := core.BurstLink(p, s); err == nil {
-			red = pct(1 - float64(e.m.Evaluate(full, load).Average)/rb)
+			red = pct(1 - float64(e.eval(full, load).Average)/rb)
 		}
 		t.Rows = append(t.Rows, []string{c.name, p.Link.MaxBandwidth().String(), red})
 	}
@@ -189,7 +189,7 @@ func AblationOrch() (Table, error) {
 		return t, err
 	}
 	load := power.LoadOf(e.p, s)
-	rb := float64(e.m.Evaluate(base, load).Average)
+	rb := float64(e.eval(base, load).Average)
 	for _, c := range []struct {
 		name    string
 		offload bool
@@ -204,7 +204,7 @@ func AblationOrch() (Table, error) {
 		}
 		c0 := full.Residency()[soc.C0]
 		t.Rows = append(t.Rows, []string{
-			c.name, pct(c0), pct(1 - float64(e.m.Evaluate(full, load).Average)/rb),
+			c.name, pct(c0), pct(1 - float64(e.eval(full, load).Average)/rb),
 		})
 	}
 	return t, nil

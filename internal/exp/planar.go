@@ -5,6 +5,7 @@ import (
 
 	"burstlink/internal/baseline"
 	"burstlink/internal/core"
+	"burstlink/internal/memo"
 	"burstlink/internal/pipeline"
 	"burstlink/internal/power"
 	"burstlink/internal/soc"
@@ -13,19 +14,34 @@ import (
 	"burstlink/internal/workload"
 )
 
+// segCache is the package-shared delta-simulation segment cache
+// (internal/memo). Every experiment evaluates period timelines of the
+// same default platform and model, so RunAll, the sensitivity probes,
+// and the day-in-a-life sweep reuse each other's power integrations —
+// bit-identically, since the memoized evaluation replays the exact
+// scratch fold.
+var segCache = memo.NewCache(4096)
+
 // env bundles the shared experiment environment.
 type env struct {
-	p pipeline.Platform
-	m power.Model
+	p    pipeline.Platform
+	m    power.Model
+	memo *memo.Cache
 }
 
 func newEnv() env {
-	return env{p: pipeline.DefaultPlatform(), m: power.Default()}
+	return env{p: pipeline.DefaultPlatform(), m: power.Default(), memo: segCache}
 }
 
 // avg evaluates a timeline's average power for a scenario.
 func (e env) avg(tl trace.Timeline, s pipeline.Scenario) float64 {
-	return float64(e.m.Evaluate(tl, power.LoadOf(e.p, s)).Average)
+	return float64(e.eval(tl, power.LoadOf(e.p, s)).Average)
+}
+
+// eval evaluates a timeline under an explicit load through the shared
+// segment cache.
+func (e env) eval(tl trace.Timeline, load power.Load) power.Result {
+	return e.m.EvaluateMemo(e.memo, tl, load)
 }
 
 // schemes runs baseline + the three BurstLink variants for a scenario and
@@ -188,7 +204,7 @@ func Table2() (Table, error) {
 				name, st.String(), mw(energy / dur), pct(res[st]),
 			})
 		}
-		r := e.m.Evaluate(tl, load)
+		r := e.eval(tl, load)
 		t.Rows = append(t.Rows, []string{name, "AvgP", mw(float64(r.Average)), "100%"})
 	}
 	emit("baseline", base)

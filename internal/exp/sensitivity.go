@@ -28,7 +28,7 @@ func Sensitivity() (Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		return 1 - float64(m.Evaluate(full, load).Average)/float64(m.Evaluate(base, load).Average), nil
+		return 1 - float64(m.EvaluateMemo(segCache, full, load).Average)/float64(m.EvaluateMemo(segCache, base, load).Average), nil
 	}
 
 	nominal, err := reduction(power.Default())

@@ -15,7 +15,8 @@ import (
 func Session() (Table, error) {
 	e := newEnv()
 	cfg := session.Config{Scenario: pipeline.Planar(units.R4K, 60, 60), Seconds: 30}
-	results, err := session.Compare(e.p, e.m, cfg)
+	eng := session.Engine{P: e.p, M: e.m, Memo: e.memo}
+	results, err := eng.Compare(cfg)
 	if err != nil {
 		return Table{}, err
 	}

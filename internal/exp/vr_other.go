@@ -122,7 +122,7 @@ func Fig14b() (Table, error) {
 				return t, err
 			}
 			load := power.Load{Demand: 1, PanelRatio: float64(res.Pixels()) / float64(units.FHD.Pixels())}
-			red := 1 - float64(e.m.Evaluate(burst, load).Average)/float64(e.m.Evaluate(conv, load).Average)
+			red := 1 - float64(e.eval(burst, load).Average)/float64(e.eval(conv, load).Average)
 			row = append(row, pct(red))
 		}
 		t.Rows = append(t.Rows, row)

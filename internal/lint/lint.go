@@ -16,6 +16,10 @@
 //     buffer to the caller; a leaked Get silently disables reuse.
 //   - errdrop: discarded error returns in simulator code hide broken
 //     bitstreams and truncated traces.
+//   - memokeycheck: delta-simulation AppendKey methods must write every
+//     receiver field into the canonical segment key, or the segment
+//     cache silently serves stale results for inputs that differ only in
+//     the forgotten field.
 //
 // The interprocedural layer (CFG builder, static call graph, forward
 // dataflow framework — see cfg.go, callgraph.go, dataflow.go) carries
@@ -104,6 +108,7 @@ func All() []*Analyzer {
 		CtxCheck,
 		LockCheck,
 		DetFlow,
+		MemoKeyCheck,
 	}
 }
 

@@ -147,6 +147,10 @@ func TestDetFlowFixture(t *testing.T) {
 	checkFixture(t, "detflowfix", []*Analyzer{DetFlow})
 }
 
+func TestMemoKeyCheckFixture(t *testing.T) {
+	checkFixture(t, "memofix", []*Analyzer{MemoKeyCheck})
+}
+
 // TestIgnoreDirectives drives the full pipeline over the ignorefix
 // package: three suppressed sites must vanish, and the malformed or
 // mis-targeted directives must leave their findings standing.

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MemoKeyCheck audits the delta-simulation cache keys (internal/memo,
+// DESIGN.md §4.9). A segment's canonical key must be exhaustive over its
+// input struct: a field that changes the computed result but is left out
+// of AppendKey makes two different inputs hash alike, and the cache then
+// serves a stale segment — a silent wrong-answer bug no throughput test
+// catches, only a bit-identity test that happens to vary the forgotten
+// field.
+//
+// The check is structural: for every method named AppendKey whose single
+// parameter is a *memo.KeyWriter and whose receiver is a struct, each
+// receiver field must be read somewhere in the body (a selector on the
+// receiver — directly in a writer call, through a nested selector like
+// k.Res.Width, or feeding a sort-then-write loop). A field that is
+// deliberately excluded (because it provably cannot affect the segment's
+// output) belongs in a dedicated narrower key struct — the way
+// pipeline.videoKey omits FPS — or under an explicit
+// //lint:ignore memokeycheck with the proof in the reason.
+var MemoKeyCheck = &Analyzer{
+	Name: "memokeycheck",
+	Doc:  "flag AppendKey methods that do not write every receiver field into the canonical segment key",
+	Run:  runMemoKeyCheck,
+}
+
+func runMemoKeyCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Name.Name != "AppendKey" || fn.Recv == nil {
+				continue
+			}
+			if !takesKeyWriter(pass, fn) {
+				continue
+			}
+			checkAppendKey(pass, fn)
+		}
+	}
+}
+
+// takesKeyWriter reports whether fn's parameter list is exactly one
+// *memo.KeyWriter. The package is matched by import-path suffix so the
+// fixture stub under testdata resolves the same way the real
+// burstlink/internal/memo does.
+func takesKeyWriter(pass *Pass, fn *ast.FuncDecl) bool {
+	params := fn.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) > 1 {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(params.List[0].Type)
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Name() != "KeyWriter" {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "memo" || strings.HasSuffix(path, "/memo")
+}
+
+// checkAppendKey resolves the receiver struct and reports fields the
+// method body never reads off the receiver.
+func checkAppendKey(pass *Pass, fn *ast.FuncDecl) {
+	recvField := fn.Recv.List[0]
+	rt := pass.TypesInfo.TypeOf(recvField.Type)
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	st, ok := rt.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	var fields []string
+	for i := 0; i < st.NumFields(); i++ {
+		if name := st.Field(i).Name(); name != "_" {
+			fields = append(fields, name)
+		}
+	}
+	if len(fields) == 0 {
+		return
+	}
+
+	// An unnamed (or blank) receiver cannot read any field: everything
+	// is unwritten.
+	var recvObj types.Object
+	if len(recvField.Names) == 1 && recvField.Names[0].Name != "_" {
+		recvObj = pass.TypesInfo.Defs[recvField.Names[0]]
+	}
+
+	read := make(map[string]bool)
+	escapes := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok && recvObj != nil && pass.TypesInfo.Uses[id] == recvObj {
+				read[x.Sel.Name] = true
+				return false // the base identifier is accounted for
+			}
+		case *ast.Ident:
+			// The receiver used bare — passed whole to a helper or
+			// re-keyed via w.Sub. Ownership of exhaustiveness moves
+			// there; treat every field as covered.
+			if recvObj != nil && pass.TypesInfo.Uses[x] == recvObj {
+				escapes = true
+			}
+		}
+		return true
+	})
+	if escapes {
+		return
+	}
+
+	var missing []string
+	for _, f := range fields {
+		if !read[f] {
+			missing = append(missing, f)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	recvName := types.ExprString(recvField.Type)
+	pass.Reportf(fn.Name.Pos(), "AppendKey on %s never writes %s into the canonical key; inputs differing only there collide and the segment cache serves stale results", recvName, strings.Join(missing, ", "))
+}

@@ -27,12 +27,16 @@ var ParCheck = &Analyzer{
 //     coalescing (flightGroup), and graceful drain are event-driven
 //     concurrency, not bounded index fan-out — they cannot be expressed
 //     through the pool they'd otherwise be confined to.
+//   - internal/memo: the segment cache's singleflight coalescing blocks
+//     waiters on the leader's in-flight computation — the same
+//     event-driven shape as the server's flightGroup, one layer down.
 //
 // Everything else still goes through par; extending this list is a
 // review decision, not a //lint:ignore at the call site.
 var parAllowlist = []string{
 	"internal/par",
 	"internal/server",
+	"internal/memo",
 }
 
 // parAllowed reports whether pkgPath is an allowlisted package or lives

@@ -1,0 +1,36 @@
+// Package memo is a stub of burstlink/internal/memo for fixture tests:
+// just the KeyWriter surface the memokeycheck fixtures need to
+// type-check. memokeycheck matches the parameter type by the .../memo
+// package-path suffix, so this stub resolves exactly like the real one.
+package memo
+
+import "time"
+
+// Keyer is the canonical-key interface segment inputs implement.
+type Keyer interface {
+	AppendKey(w *KeyWriter)
+}
+
+// KeyWriter is the canonical-key builder stub.
+type KeyWriter struct{}
+
+// Int writes a named signed integer field.
+func (w *KeyWriter) Int(name string, v int64) {}
+
+// Uint writes a named unsigned integer field.
+func (w *KeyWriter) Uint(name string, v uint64) {}
+
+// Float writes a named float field.
+func (w *KeyWriter) Float(name string, v float64) {}
+
+// Bool writes a named boolean field.
+func (w *KeyWriter) Bool(name string, v bool) {}
+
+// String writes a named string field.
+func (w *KeyWriter) String(name string, v string) {}
+
+// Duration writes a named duration field.
+func (w *KeyWriter) Duration(name string, v time.Duration) {}
+
+// Sub writes a named nested keyer.
+func (w *KeyWriter) Sub(name string, k Keyer) {}

@@ -1,0 +1,185 @@
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// pair is a minimal two-field segment input for cache tests.
+type pair struct{ A, B int64 }
+
+func (p pair) AppendKey(w *KeyWriter) {
+	w.Int("a", p.A)
+	w.Int("b", p.B)
+}
+
+func TestDoCachesAndCounts(t *testing.T) {
+	c := NewCache(8)
+	calls := 0
+	get := func(p pair) int64 {
+		v, err := Do(c, "sum", p, func() (int64, error) { calls++; return p.A + p.B, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if get(pair{2, 3}) != 5 || get(pair{2, 3}) != 5 || get(pair{3, 2}) != 5 {
+		t.Fatal("wrong values")
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (field order matters: {2,3} != {3,2})", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDoNeverCachesErrors(t *testing.T) {
+	c := NewCache(8)
+	calls := 0
+	boom := errors.New("boom")
+	f := func() (int, error) { calls++; return 0, boom }
+	if _, err := Do(c, "seg", pair{1, 1}, f); !errors.Is(err, boom) {
+		t.Fatal("want error")
+	}
+	if _, err := Do(c, "seg", pair{1, 1}, f); !errors.Is(err, boom) {
+		t.Fatal("want error again")
+	}
+	if calls != 2 {
+		t.Fatalf("failed segment was cached (calls=%d)", calls)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("error entered cache: %+v", st)
+	}
+}
+
+func TestNilAndDisabledCacheComputeDirectly(t *testing.T) {
+	for _, c := range []*Cache{nil, NewCache(0)} {
+		if c.Enabled() {
+			t.Fatal("should be disabled")
+		}
+		calls := 0
+		for i := 0; i < 3; i++ {
+			v, err := Do(c, "seg", pair{4, 4}, func() (int, error) { calls++; return 9, nil })
+			if err != nil || v != 9 {
+				t.Fatal("compute failed")
+			}
+		}
+		if calls != 3 {
+			t.Fatalf("disabled cache memoized (calls=%d)", calls)
+		}
+		if st := c.Stats(); st.Hits != 0 && st.Misses != 0 {
+			t.Fatalf("disabled cache counted: %+v", st)
+		}
+	}
+}
+
+func TestEvictionBound(t *testing.T) {
+	c := NewCache(4)
+	for i := int64(0); i < 10; i++ {
+		if _, err := Do(c, "seg", pair{i, 0}, func() (int64, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries > 4 {
+		t.Fatalf("bound violated: %+v", st)
+	}
+	if st.Evictions != 6 {
+		t.Fatalf("evictions = %d, want 6", st.Evictions)
+	}
+}
+
+// TestCoalescing: concurrent misses on one key run the segment once and
+// all observers share the value; the remainder are counted as coalesced.
+func TestCoalescing(t *testing.T) {
+	c := NewCache(8)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const workers = 16
+	var wg sync.WaitGroup
+	vals := make([]int64, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := Do(c, "slow", pair{7, 7}, func() (int64, error) {
+				calls.Add(1)
+				<-release
+				return 14, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	// Let the leader win the key and the followers queue behind it, then
+	// release. (A follower that arrives after completion hits the LRU
+	// instead — also a single computation.)
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("segment computed %d times under concurrency", got)
+	}
+	for i, v := range vals {
+		if v != 14 {
+			t.Fatalf("worker %d saw %d", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Hits+st.Coalesced != workers-1 {
+		t.Fatalf("hits %d + coalesced %d != %d", st.Hits, st.Coalesced, workers-1)
+	}
+}
+
+// TestKeyWriterUnambiguous pins the anti-collision framing: append
+// sequences whose flat concatenations coincide must produce different
+// keys.
+func TestKeyWriterUnambiguous(t *testing.T) {
+	key := func(f func(w *KeyWriter)) string {
+		var w KeyWriter
+		f(&w)
+		return w.Sum("s")
+	}
+	cases := [][2]func(w *KeyWriter){
+		// Name/value boundary shifts.
+		{func(w *KeyWriter) { w.String("ab", "c") }, func(w *KeyWriter) { w.String("a", "bc") }},
+		// One field vs two fields whose bytes concatenate equally.
+		{func(w *KeyWriter) { w.String("x", "aabb") },
+			func(w *KeyWriter) { w.String("x", "aa"); w.String("x", "bb") }},
+		// Same bits, different type marker.
+		{func(w *KeyWriter) { w.Int("v", 1) }, func(w *KeyWriter) { w.Uint("v", 1) }},
+		// Nesting boundary: {a}{b} vs {a,b}.
+		{func(w *KeyWriter) { w.Sub("p", pair{1, 2}) },
+			func(w *KeyWriter) { w.Int("a", 1); w.Int("b", 2) }},
+		// Empty string vs absent field.
+		{func(w *KeyWriter) { w.String("s", "") }, func(w *KeyWriter) {}},
+	}
+	for i, tc := range cases {
+		if key(tc[0]) == key(tc[1]) {
+			t.Fatalf("case %d: distinct sequences collided", i)
+		}
+	}
+	// Segment names partition the keyspace even for identical bytes.
+	if KeyOf("seg1", pair{1, 2}) == KeyOf("seg2", pair{1, 2}) {
+		t.Fatal("segment name not part of key")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	c := NewCache(2)
+	_, _ = Do(c, "s", pair{1, 1}, func() (int, error) { return 1, nil })
+	st := c.Stats()
+	if st.Capacity != 2 || st.Misses != 1 {
+		t.Fatalf("%+v", st)
+	}
+	// Smoke the %+v path used in failure messages.
+	if s := fmt.Sprintf("%+v", st); s == "" {
+		t.Fatal("empty stats")
+	}
+}

@@ -1,0 +1,36 @@
+package pipeline
+
+import "burstlink/internal/memo"
+
+// AppendKey renders the scenario into a canonical segment key. Every
+// field participates — a scenario knob that moved the timeline but not
+// the key would serve stale cached segments (memokeycheck pins the
+// exhaustiveness).
+func (s Scenario) AppendKey(w *memo.KeyWriter) {
+	w.Int("w", int64(s.Res.Width))
+	w.Int("h", int64(s.Res.Height))
+	w.Int("hz", int64(s.Refresh))
+	w.Int("fps", int64(s.FPS))
+	w.Int("bpp", int64(s.BPP))
+	w.Bool("vr", s.VR)
+	w.Int("srcw", int64(s.VRSource.Width))
+	w.Int("srch", int64(s.VRSource.Height))
+	w.Float("mf", s.MotionFactor)
+}
+
+// AppendKey renders the platform's calibrated timing parameters into a
+// canonical segment key, nesting the DRAM and link configurations.
+func (p Platform) AppendKey(w *memo.KeyWriter) {
+	w.Float("vdrate", p.VDPixelRate)
+	w.Float("vdratelp", p.VDPixelRateLP)
+	w.Float("gpurate", p.GPUPixelRate)
+	w.Float("dcfetch", float64(p.DCFetchRate))
+	w.Float("texp", p.ThroughputExp)
+	w.Duration("orch", p.OrchTime)
+	w.Duration("orchbl", p.OrchTimeBL)
+	w.Uint("dcbuf", uint64(p.DCBufSize))
+	w.Float("encbpp", p.EncodedBitsPerPixel)
+	w.Sub("dram", p.DRAM)
+	w.Sub("link", p.Link)
+	w.Bool("psrdeep", p.PSRDeep)
+}

@@ -1,0 +1,49 @@
+package pipeline
+
+import (
+	"burstlink/internal/codec"
+	"burstlink/internal/memo"
+)
+
+// syntheticStream is the memoized output of the codec byte-stream
+// segment: the encoded packets plus the encoder-side reconstruction
+// checksums. Cached streams are aliased across runs; decoders only read
+// packet bytes (codec.BitReader), so sharing is safe.
+type syntheticStream struct {
+	Packets []codec.Packet
+	Sums    []uint32
+}
+
+// videoKey is the canonical input of the codec byte-stream segment: the
+// knobs SyntheticVideo actually reads. FPS and Refresh pace playback but
+// never touch the encoded bytes, so two functional runs that differ only
+// in timing share one encoded stream.
+type videoKey struct {
+	Width, Height, Frames, Quality, BPeriod int
+}
+
+// AppendKey renders the segment input into its canonical key.
+func (k videoKey) AppendKey(w *memo.KeyWriter) {
+	w.Int("w", int64(k.Width))
+	w.Int("h", int64(k.Height))
+	w.Int("frames", int64(k.Frames))
+	w.Int("quality", int64(k.Quality))
+	w.Int("bperiod", int64(k.BPeriod))
+}
+
+// SyntheticVideoMemo is SyntheticVideo through the delta-simulation
+// segment cache. The returned packets and checksums are aliased with the
+// cache and must be treated as read-only. A nil or disabled cache
+// encodes from scratch.
+func SyntheticVideoMemo(c *memo.Cache, cfg FunctionalConfig) ([]codec.Packet, []uint32, error) {
+	v, err := memo.Do(c, "video",
+		videoKey{Width: cfg.Width, Height: cfg.Height, Frames: cfg.Frames, Quality: cfg.Quality, BPeriod: cfg.BPeriod},
+		func() (syntheticStream, error) {
+			pkts, sums, err := SyntheticVideo(cfg)
+			return syntheticStream{Packets: pkts, Sums: sums}, err
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.Packets, v.Sums, nil
+}

@@ -117,9 +117,15 @@ func (m Model) Evaluate(tl trace.Timeline, load Load) Result {
 // transitionEnergy charges the P_en·Lat_en + P_ex·Lat_ex terms per state
 // entry.
 func (m Model) transitionEnergy(tl trace.Timeline) units.Energy {
+	return m.transitionEnergyOf(tl.Entries())
+}
+
+// transitionEnergyOf charges transition energy from precomputed
+// state-entry counts (shared by Evaluate and ExtendPeriod so both fold
+// the same terms in the same order).
+func (m Model) transitionEnergyOf(entries map[soc.PackageCState]int) units.Energy {
 	// Charge states in sorted order: float accumulation in map iteration
 	// order would wobble the low bits run to run (determcheck).
-	entries := tl.Entries()
 	states := make([]soc.PackageCState, 0, len(entries))
 	for st := range entries {
 		states = append(states, st)

@@ -100,8 +100,10 @@ func TestWireDeterminism(t *testing.T) {
 		name string
 		cfg  Config
 	}{
-		{"cache-on", Config{}},
-		{"cache-off", Config{DisableCache: true, DisableCoalesce: true}},
+		{"cache-on-delta-on", Config{}},
+		{"cache-off-delta-on", Config{DisableCache: true, DisableCoalesce: true}},
+		{"cache-on-delta-off", Config{DisableDelta: true}},
+		{"cache-off-delta-off", Config{DisableCache: true, DisableCoalesce: true, DisableDelta: true}},
 	}
 	for _, c := range configs {
 		t.Run(c.name, func(t *testing.T) {
@@ -176,5 +178,80 @@ func TestCacheTransparency(t *testing.T) {
 		if !bytes.Equal(cached[i], uncached[i]) {
 			t.Errorf("request %d (%s): cached and uncached bodies differ", i, fmt.Sprintf("%s %s", seq[i].method, seq[i].path))
 		}
+	}
+}
+
+// TestDeltaTransparency pins the delta-simulation contract on the wire:
+// a memoized (segment-cached, period-folded) instance and a cold-scratch
+// instance (full timeline expansion, no segment reuse) produce
+// byte-identical bodies for the same sequence — across every cell of the
+// result-cache × delta matrix. Delta simulation is observable only
+// through /v1/stats and speed, never content.
+func TestDeltaTransparency(t *testing.T) {
+	seq := determinismSequence(t)
+	run := func(cfg Config) [][]byte {
+		ts := httptest.NewServer(New(cfg).Handler())
+		defer ts.Close()
+		bodies := make([][]byte, len(seq))
+		for i, r := range seq {
+			status, body := replay(t, ts.URL, r)
+			if status != 200 {
+				t.Fatalf("request %d: status %d: %s", i, status, body)
+			}
+			bodies[i] = body
+		}
+		return bodies
+	}
+	arms := []struct {
+		name string
+		cfg  Config
+	}{
+		{"cache-on-delta-on", Config{}},
+		{"cache-off-delta-on", Config{DisableCache: true, DisableCoalesce: true}},
+		{"cache-on-delta-off", Config{DisableDelta: true}},
+		{"cache-off-delta-off", Config{DisableCache: true, DisableCoalesce: true, DisableDelta: true}},
+	}
+	ref := run(arms[0].cfg)
+	for _, arm := range arms[1:] {
+		got := run(arm.cfg)
+		for i := range seq {
+			if !bytes.Equal(ref[i], got[i]) {
+				t.Errorf("request %d (%s %s): %s diverges from %s\nref: %s\ngot: %s",
+					i, seq[i].method, seq[i].path, arm.name, arms[0].name, ref[i], got[i])
+			}
+		}
+	}
+}
+
+// TestStatsExposeSegmentCounters: after a sweep-shaped run the /v1/stats
+// document carries live segment-cache numbers (and a scratch instance
+// reports them as zero).
+func TestStatsExposeSegmentCounters(t *testing.T) {
+	seq := determinismSequence(t)
+	stats := func(cfg Config) api.Stats {
+		ts := httptest.NewServer(New(cfg).Handler())
+		defer ts.Close()
+		for i, r := range seq {
+			if status, body := replay(t, ts.URL, r); status != 200 {
+				t.Fatalf("request %d: status %d: %s", i, status, body)
+			}
+		}
+		_, body := replay(t, ts.URL, wireRequest{"GET", "/v1/stats", nil})
+		var st api.Stats
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	on := stats(Config{DisableCache: true, DisableCoalesce: true})
+	if on.SegmentMisses == 0 || on.SegmentHits == 0 {
+		t.Fatalf("segment counters not live: %+v", on)
+	}
+	if on.SegmentHitRatio <= 0 || on.SegmentHitRatio >= 1 {
+		t.Fatalf("segment hit ratio out of range: %v", on.SegmentHitRatio)
+	}
+	off := stats(Config{DisableCache: true, DisableCoalesce: true, DisableDelta: true})
+	if off.SegmentHits != 0 || off.SegmentMisses != 0 || off.SegmentEntries != 0 {
+		t.Fatalf("scratch instance reported segment activity: %+v", off)
 	}
 }

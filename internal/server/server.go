@@ -37,6 +37,7 @@ import (
 	"burstlink/internal/api"
 	"burstlink/internal/cache"
 	"burstlink/internal/exp"
+	"burstlink/internal/memo"
 	"burstlink/internal/par"
 	"burstlink/internal/pipeline"
 	"burstlink/internal/power"
@@ -56,9 +57,17 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries sizes the scenario result cache (default 4096).
 	CacheEntries int
+	// SegmentCacheEntries sizes the delta-simulation segment cache that
+	// sits under the result cache (default 8192).
+	SegmentCacheEntries int
 	// DisableCache turns the result cache off (the bench harness's
 	// comparison mode).
 	DisableCache bool
+	// DisableDelta turns delta simulation off entirely: no segment
+	// cache, and sessions evaluate their full expanded timelines from
+	// scratch (the bench harness's scratch arm). Results are
+	// bit-identical either way — the determinism tests pin it.
+	DisableDelta bool
 	// DisableCoalesce turns off in-flight request coalescing.
 	DisableCoalesce bool
 	// RequestTimeout is the per-request execution deadline (default 30s).
@@ -83,6 +92,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 4096
 	}
+	if c.SegmentCacheEntries <= 0 {
+		c.SegmentCacheEntries = 8192
+	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
@@ -101,6 +113,7 @@ type Server struct {
 	cfg    Config
 	p      pipeline.Platform
 	m      power.Model
+	eng    session.Engine
 	cache  *cache.LRU
 	flight *flightGroup
 	gate   *par.Gate
@@ -123,10 +136,16 @@ func New(cfg Config) *Server {
 	if cfg.DisableCache {
 		entries = 0
 	}
+	segEntries := cfg.SegmentCacheEntries
+	if cfg.DisableDelta {
+		segEntries = 0
+	}
+	p, m := pipeline.DefaultPlatform(), power.Default()
 	s := &Server{
 		cfg:    cfg,
-		p:      pipeline.DefaultPlatform(),
-		m:      power.Default(),
+		p:      p,
+		m:      m,
+		eng:    session.Engine{P: p, M: m, Memo: memo.NewCache(segEntries), Scratch: cfg.DisableDelta},
 		cache:  cache.NewLRU(entries),
 		flight: newFlightGroup(),
 		gate:   par.NewGate(cfg.MaxConcurrent),
@@ -230,7 +249,7 @@ func (s *Server) runSession(ctx context.Context, req api.SessionRequest) ([]byte
 	if err != nil {
 		return nil, api.Errf(http.StatusBadRequest, "bad_request", "%v", err)
 	}
-	res, err := session.Run(s.p, s.m, cfg)
+	res, err := s.eng.Run(cfg)
 	if err != nil {
 		// A valid request can still describe an infeasible scenario
 		// (e.g. a resolution the platform cannot scan out in a frame
@@ -348,20 +367,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, body, "", aerr)
 }
 
-// Stats snapshots the service counters.
+// Stats snapshots the service counters, including the delta-simulation
+// segment cache that sits under the result cache.
 func (s *Server) Stats() api.Stats {
 	cs := s.cache.Stats()
+	ms := s.eng.Memo.Stats()
 	st := api.Stats{
-		Requests:     s.requests.Load(),
-		Rejected:     s.rejected.Load(),
-		CacheHits:    s.hits.Load(),
-		CacheMisses:  s.misses.Load(),
-		Coalesced:    s.coalesced.Load(),
-		CacheEntries: cs.Entries,
-		MaxInFlight:  int(s.peak.Load()),
+		Requests:         s.requests.Load(),
+		Rejected:         s.rejected.Load(),
+		CacheHits:        s.hits.Load(),
+		CacheMisses:      s.misses.Load(),
+		Coalesced:        s.coalesced.Load(),
+		CacheEntries:     cs.Entries,
+		MaxInFlight:      int(s.peak.Load()),
+		SegmentHits:      ms.Hits,
+		SegmentMisses:    ms.Misses,
+		SegmentEvictions: ms.Evictions,
+		SegmentCoalesced: ms.Coalesced,
+		SegmentEntries:   ms.Entries,
 	}
 	if total := st.CacheHits + st.CacheMisses + st.Coalesced; total > 0 {
 		st.HitRatio = float64(st.CacheHits+st.Coalesced) / float64(total)
+	}
+	if total := st.SegmentHits + st.SegmentMisses; total > 0 {
+		st.SegmentHitRatio = float64(st.SegmentHits) / float64(total)
 	}
 	return st
 }

@@ -1,0 +1,216 @@
+package session
+
+import (
+	"fmt"
+
+	"burstlink/internal/memo"
+	"burstlink/internal/pipeline"
+	"burstlink/internal/power"
+	"burstlink/internal/stream"
+	"burstlink/internal/trace"
+	"burstlink/internal/units"
+	"burstlink/internal/workload"
+)
+
+// Engine is the delta-simulation session runner (DESIGN.md §4.9). It
+// decomposes Run into three named segments — buffer delivery, period
+// timeline generation, and power integration — each keyed by an
+// explicit canonical input struct and memoized through a shared segment
+// cache. A sweep that moves one knob recomputes only the segments that
+// knob invalidates: changing bitrate reuses the timeline and power
+// segments, changing seconds reuses all three (ExtendPeriod re-folds
+// the cached per-period evaluation), changing the scheme reuses the
+// buffer segment. Results are bit-identical to the scratch path — the
+// segments recompose the exact float folds Run has always performed —
+// so memoization is invisible on the wire (the server's determinism
+// test pins this).
+type Engine struct {
+	P pipeline.Platform
+	M power.Model
+	// Memo is the segment cache; nil (or disabled) recomputes every
+	// segment from scratch.
+	Memo *memo.Cache
+	// Scratch forces the legacy full-expansion evaluation: the period
+	// timeline is materialized Repeat(frames) long and folded phase by
+	// phase, with no segment cache and no period folding. It exists as
+	// the baseline arm of the delta bench and the determinism matrix —
+	// its results are bit-identical to the delta path (pinned by
+	// engine_test.go and power/repeat_test.go).
+	Scratch bool
+}
+
+// bufferInput is the canonical input of the buffer-delivery segment.
+// It exists only for the steady default network (Network == nil in the
+// Config): a constant-bandwidth delivery is fully determined by these
+// six numbers, while a caller-supplied trace is opaque and bypasses the
+// cache.
+type bufferInput struct {
+	// Bandwidth is the constant delivery rate.
+	Bandwidth units.DataRate
+	// NetFrame is the on-wire frame size derived from the bitrate.
+	NetFrame units.ByteSize
+	// Frames is the playback length in frames.
+	Frames int
+	// FPS is the playback rate.
+	FPS int
+	// Prebuf is the startup buffer depth in frames.
+	Prebuf int
+	// Capacity is the jitter-buffer capacity.
+	Capacity units.ByteSize
+}
+
+// AppendKey renders the segment input into its canonical key.
+func (b bufferInput) AppendKey(w *memo.KeyWriter) {
+	w.Float("bw", float64(b.Bandwidth))
+	w.Uint("netframe", uint64(b.NetFrame))
+	w.Int("frames", int64(b.Frames))
+	w.Int("fps", int64(b.FPS))
+	w.Int("prebuf", int64(b.Prebuf))
+	w.Uint("cap", uint64(b.Capacity))
+}
+
+// timelineInput is the canonical input of the period-timeline segment:
+// the scheme picks the scheduler, the scenario and platform parameterize
+// it.
+type timelineInput struct {
+	Scheme   Scheme
+	Scenario pipeline.Scenario
+	Platform pipeline.Platform
+}
+
+// AppendKey renders the segment input into its canonical key.
+func (t timelineInput) AppendKey(w *memo.KeyWriter) {
+	w.Int("scheme", int64(t.Scheme))
+	w.Sub("scenario", t.Scenario)
+	w.Sub("platform", t.Platform)
+}
+
+// jitterCapacity is the fixed jitter-buffer size sessions play through.
+const jitterCapacity = 64 * units.MB
+
+// cache returns the segment cache to run under: none in scratch mode.
+func (e Engine) cache() *memo.Cache {
+	if e.Scratch {
+		return nil
+	}
+	return e.Memo
+}
+
+// bufferStats runs the buffer-delivery segment. The steady default
+// network goes through the segment cache; an explicit bandwidth trace is
+// opaque (not canonically keyable) and is simulated from scratch.
+func (e Engine) bufferStats(cfg Config, bitrate units.DataRate, frames int) (stream.Stats, error) {
+	s := cfg.Scenario
+	prebuf := cfg.PrebufferFrames
+	if prebuf == 0 {
+		prebuf = int(s.FPS)
+	}
+	netFrame := units.ByteSize(float64(bitrate) / 8 / float64(s.FPS))
+	run := func(network stream.BandwidthTrace) (stream.Stats, error) {
+		buf := stream.NewJitterBuffer(jitterCapacity)
+		return stream.SimulateStreaming(stream.NewSource(network), buf, netFrame, frames, s.FPS, prebuf)
+	}
+	if cfg.Network != nil {
+		return run(cfg.Network)
+	}
+	bw := units.DataRate(1.5 * float64(bitrate))
+	in := bufferInput{
+		Bandwidth: bw,
+		NetFrame:  netFrame,
+		Frames:    frames,
+		FPS:       int(s.FPS),
+		Prebuf:    prebuf,
+		Capacity:  jitterCapacity,
+	}
+	return memo.Do(e.cache(), "buffer", in, func() (stream.Stats, error) {
+		return run(stream.ConstantBandwidth(bw))
+	})
+}
+
+// periodTimeline runs the period-timeline segment: one scheduled period
+// of the scheme on the platform, memoized by (scheme, scenario,
+// platform). Cached timelines are shared read-only across cells.
+func (e Engine) periodTimeline(sch Scheme, s pipeline.Scenario) (trace.Timeline, error) {
+	return memo.Do(e.cache(), "timeline", timelineInput{Scheme: sch, Scenario: s, Platform: e.P},
+		func() (trace.Timeline, error) { return sch.scheduler()(e.P, s) })
+}
+
+// Run plays the session through the segment pipeline. It is the
+// memoized equivalent of the package-level Run: same validation, same
+// numbers, bit for bit.
+func (e Engine) Run(cfg Config) (Result, error) {
+	if err := cfg.Scenario.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Seconds <= 0 {
+		return Result{}, fmt.Errorf("session: non-positive duration")
+	}
+	s := cfg.Scenario
+	frames := cfg.Seconds * int(s.FPS)
+
+	// Segment 1: network delivery into the jitter buffer.
+	encFrame := e.P.EncodedFrameSize(s.Res)
+	if s.VR {
+		encFrame = e.P.EncodedFrameSize(s.VRSource)
+	}
+	bitrate := cfg.Bitrate
+	if bitrate <= 0 {
+		bitrate = units.DataRate(float64(encFrame.Bits()) * float64(s.FPS))
+	}
+	bufStats, err := e.bufferStats(cfg, bitrate, frames)
+	if err != nil {
+		return Result{}, fmt.Errorf("session: network: %w", err)
+	}
+
+	// Segment 2: one scheduled period of playback.
+	period, err := e.periodTimeline(cfg.Scheme, s)
+	if err != nil {
+		return Result{}, fmt.Errorf("session: %v: %w", cfg.Scheme, err)
+	}
+
+	// Segment 3: power integration over the period, then an exact
+	// extension to the full session length. Scratch mode expands the
+	// whole session timeline and folds it phase by phase instead.
+	load := power.LoadOf(e.P, s)
+	var res power.Result
+	if e.Scratch {
+		res = e.M.Evaluate(period.Repeat(frames), load)
+	} else {
+		pe := e.M.EvaluatePeriodMemo(e.Memo, period, load)
+		res = e.M.ExtendPeriod(pe, frames)
+	}
+
+	bat := cfg.Battery
+	if bat.CapacityMilliWattHours == 0 {
+		bat = workload.SurfaceProBattery()
+	}
+	read, write := period.DRAMTraffic()
+	return Result{
+		Scheme:      cfg.Scheme,
+		Frames:      frames,
+		Stalls:      bufStats.Underruns,
+		Buffer:      bufStats,
+		AvgPower:    res.Average,
+		Energy:      res.Energy,
+		BatteryLife: bat.Life(res.Average),
+		DRAMRead:    read * units.ByteSize(int(s.FPS)),
+		DRAMWrite:   write * units.ByteSize(int(s.FPS)),
+	}, nil
+}
+
+// Compare runs the same session under every scheme and returns the
+// results in scheme order. Scheme-independent segments (the buffer
+// delivery) compute once and hit the cache for the remaining schemes.
+func (e Engine) Compare(cfg Config) ([]Result, error) {
+	out := make([]Result, 0, 4)
+	for _, sch := range Schemes() {
+		c := cfg
+		c.Scheme = sch
+		r, err := e.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package session
+
+import (
+	"testing"
+
+	"burstlink/internal/memo"
+	"burstlink/internal/pipeline"
+	"burstlink/internal/stream"
+	"burstlink/internal/units"
+)
+
+// TestEngineMemoBitIdentical: every (scheme, scenario, length, bitrate)
+// cell must produce the exact same Result through the segment cache —
+// cold and warm — as the scratch path. Exact struct equality, not
+// tolerance: the server's wire determinism depends on memoization being
+// invisible.
+func TestEngineMemoBitIdentical(t *testing.T) {
+	p, m := env()
+	eng := Engine{P: p, M: m, Memo: memo.NewCache(256)}
+	scratch := Engine{P: p, M: m}
+	vrScenario := pipeline.Scenario{
+		Res:     units.Resolution{Width: 2 * units.VR1080.Width, Height: units.VR1080.Height},
+		Refresh: 60, FPS: 60, BPP: 24,
+		VR: true, VRSource: units.R4K, MotionFactor: 1.2,
+	}
+	scenarios := []pipeline.Scenario{
+		pipeline.Planar(units.FHD, 60, 30),
+		pipeline.Planar(units.R4K, 60, 60),
+		vrScenario,
+	}
+	for _, s := range scenarios {
+		for _, sch := range Schemes() {
+			for _, sec := range []int{5, 20} {
+				for _, br := range []units.DataRate{0, 40 * units.Mbps} {
+					cfg := Config{Scenario: s, Scheme: sch, Seconds: sec, Bitrate: br}
+					want, err := scratch.Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// The legacy full-expansion path must agree too.
+					legacy, err := Engine{P: p, M: m, Scratch: true}.Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if legacy != want {
+						t.Fatalf("%v %v %ds: full expansion %+v != folded %+v", s, sch, sec, legacy, want)
+					}
+					// Twice: cold fill then warm hit must both match.
+					for pass := 0; pass < 2; pass++ {
+						got, err := eng.Run(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got != want {
+							t.Fatalf("%v %v %ds pass %d: memoized %+v != scratch %+v",
+								s, sch, sec, pass, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+	st := eng.Memo.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("cache never exercised: %+v", st)
+	}
+}
+
+// TestEngineSegmentSharing pins the axis-sharing contract the sweep
+// speedup rests on: cells that differ only in bitrate or length share
+// the timeline and power segments, and cells that differ only in scheme
+// share the buffer segment.
+func TestEngineSegmentSharing(t *testing.T) {
+	p, m := env()
+	base := Config{Scenario: pipeline.Planar(units.R4K, 60, 60), Scheme: BurstLink, Seconds: 10}
+
+	eng := Engine{P: p, M: m, Memo: memo.NewCache(256)}
+	if _, err := eng.Run(base); err != nil {
+		t.Fatal(err)
+	}
+	miss0 := eng.Memo.Stats().Misses
+
+	// Bitrate-only change: buffer segment recomputes, timeline and power
+	// segments hit.
+	c := base
+	c.Bitrate = 80 * units.Mbps
+	if _, err := eng.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Memo.Stats(); st.Misses != miss0+1 {
+		t.Fatalf("bitrate change recomputed %d segments, want 1 (%+v)", st.Misses-miss0, st)
+	}
+
+	// Length-only change: same — ExtendPeriod refolds the cached period.
+	miss0 = eng.Memo.Stats().Misses
+	c = base
+	c.Seconds = 45
+	if _, err := eng.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Memo.Stats(); st.Misses != miss0+1 {
+		t.Fatalf("length change recomputed %d segments, want 1 (%+v)", st.Misses-miss0, st)
+	}
+
+	// Scheme-only change: timeline and power recompute, buffer hits.
+	miss0 = eng.Memo.Stats().Misses
+	hits0 := eng.Memo.Stats().Hits
+	c = base
+	c.Scheme = Conventional
+	if _, err := eng.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Memo.Stats(); st.Misses != miss0+2 || st.Hits != hits0+1 {
+		t.Fatalf("scheme change: misses +%d hits +%d, want +2/+1 (%+v)",
+			st.Misses-miss0, st.Hits-hits0, st)
+	}
+}
+
+// TestEngineCustomNetworkBypassesBufferCache: an explicit bandwidth
+// trace is opaque, so the buffer segment must not be cached under it —
+// two different traces with identical knobs must not alias.
+func TestEngineCustomNetworkBypassesBufferCache(t *testing.T) {
+	p, m := env()
+	s := pipeline.Planar(units.FHD, 60, 30)
+	good := stream.ConstantBandwidth(100 * units.Mbps)
+	bad := stream.ConstantBandwidth(1 * units.Mbps)
+	eng := Engine{P: p, M: m, Memo: memo.NewCache(64)}
+	cfg := Config{Scenario: s, Scheme: Conventional, Seconds: 5, Bitrate: 8 * units.Mbps, Network: good}
+	rGood, err := eng.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Network = bad
+	rBad, err := eng.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBad.Stalls == rGood.Stalls {
+		t.Fatalf("starved network aliased the healthy buffer result: %d stalls", rBad.Stalls)
+	}
+}

@@ -106,81 +106,14 @@ type Result struct {
 	DRAMRead, DRAMWrite units.ByteSize
 }
 
-// Run plays the session.
+// Run plays the session from scratch (no segment cache). It is the
+// un-memoized form of Engine.Run and produces bit-identical results.
 func Run(p pipeline.Platform, m power.Model, cfg Config) (Result, error) {
-	if err := cfg.Scenario.Validate(); err != nil {
-		return Result{}, err
-	}
-	if cfg.Seconds <= 0 {
-		return Result{}, fmt.Errorf("session: non-positive duration")
-	}
-	s := cfg.Scenario
-	frames := cfg.Seconds * int(s.FPS)
-
-	// Stage 1: network delivery into the jitter buffer.
-	encFrame := p.EncodedFrameSize(s.Res)
-	if s.VR {
-		encFrame = p.EncodedFrameSize(s.VRSource)
-	}
-	bitrate := cfg.Bitrate
-	if bitrate <= 0 {
-		bitrate = units.DataRate(float64(encFrame.Bits()) * float64(s.FPS))
-	}
-	network := cfg.Network
-	if network == nil {
-		network = stream.ConstantBandwidth(units.DataRate(1.5 * float64(bitrate)))
-	}
-	prebuf := cfg.PrebufferFrames
-	if prebuf == 0 {
-		prebuf = int(s.FPS)
-	}
-	buf := stream.NewJitterBuffer(64 * units.MB)
-	netFrame := units.ByteSize(float64(bitrate) / 8 / float64(s.FPS))
-	bufStats, err := stream.SimulateStreaming(stream.NewSource(network), buf, netFrame, frames, s.FPS, prebuf)
-	if err != nil {
-		return Result{}, fmt.Errorf("session: network: %w", err)
-	}
-
-	// Stage 2: playback under the chosen scheme. Steady state is one
-	// period repeated; the power model prices it.
-	period, err := cfg.Scheme.scheduler()(p, s)
-	if err != nil {
-		return Result{}, fmt.Errorf("session: %v: %w", cfg.Scheme, err)
-	}
-	full := period.Repeat(frames)
-	load := power.LoadOf(p, s)
-	res := m.Evaluate(full, load)
-
-	bat := cfg.Battery
-	if bat.CapacityMilliWattHours == 0 {
-		bat = workload.SurfaceProBattery()
-	}
-	read, write := period.DRAMTraffic()
-	return Result{
-		Scheme:      cfg.Scheme,
-		Frames:      frames,
-		Stalls:      bufStats.Underruns,
-		Buffer:      bufStats,
-		AvgPower:    res.Average,
-		Energy:      res.Energy,
-		BatteryLife: bat.Life(res.Average),
-		DRAMRead:    read * units.ByteSize(int(s.FPS)),
-		DRAMWrite:   write * units.ByteSize(int(s.FPS)),
-	}, nil
+	return Engine{P: p, M: m}.Run(cfg)
 }
 
 // Compare runs the same session under every scheme and returns the
 // results in scheme order.
 func Compare(p pipeline.Platform, m power.Model, cfg Config) ([]Result, error) {
-	out := make([]Result, 0, 4)
-	for _, sch := range Schemes() {
-		c := cfg
-		c.Scheme = sch
-		r, err := Run(p, m, c)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return Engine{P: p, M: m}.Compare(cfg)
 }

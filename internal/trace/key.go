@@ -1,0 +1,30 @@
+package trace
+
+import "burstlink/internal/memo"
+
+// AppendKey renders the phase into a canonical segment key. Every field
+// participates: a phase attribute that changed the power model's answer
+// but not the key would silently serve stale cached segments
+// (memokeycheck pins the exhaustiveness).
+func (p Phase) AppendKey(w *memo.KeyWriter) {
+	w.Int("state", int64(p.State))
+	w.Duration("dur", p.Duration)
+	w.Uint("read", uint64(p.DRAMRead))
+	w.Uint("write", uint64(p.DRAMWrite))
+	w.Bool("burst", p.EDPBurst)
+	w.Bool("gpu", p.GPUActive)
+	w.Float("boost", p.Boost)
+	w.String("label", p.Label)
+}
+
+// AppendKey renders the timeline content into a canonical segment key:
+// the phase count then each phase in order. Keying power integration by
+// timeline *content* (rather than by the scheme that generated it) lets
+// any two generators that emit the same period share the cached
+// evaluation.
+func (t Timeline) AppendKey(w *memo.KeyWriter) {
+	w.Int("phases", int64(len(t.Phases)))
+	for _, p := range t.Phases {
+		w.Sub("phase", p)
+	}
+}
