@@ -1,6 +1,7 @@
 #!/bin/sh
 # Repository check: tier-1 build+test, race detector, vet, formatting
-# (simplify mode), domain static analysis (blklint), and fuzz smoke.
+# (simplify mode), domain static analysis (blklint), fuzz smoke, and a
+# fleet bench smoke (scratch vs delta bit-identity).
 # See README.md "Testing & verification" and "Static analysis".
 set -e
 
@@ -55,6 +56,15 @@ go test -run='^$' -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=5s ./internal/codec
 go test -run='^$' -fuzz=FuzzResolutionFrameSize -fuzztime=5s ./internal/units
 go test -run='^$' -fuzz=FuzzAPIDecodeRequest -fuzztime=5s ./internal/api
 go test -run='^$' -fuzz=FuzzSegmentKey -fuzztime=5s ./internal/memo
+
+# The fleet bench asserts the scratch and delta arms produce identical
+# aggregates before reporting speedup, so this smoke doubles as an
+# end-to-end bit-identity check; the report goes to a scratch file so
+# the committed BENCH_fleet.json (10k-device numbers) is not clobbered.
+echo "== fleet smoke (bench-json fleet, 200 devices)"
+fleet_tmp=$(mktemp)
+go run ./cmd/blkv bench-json fleet -sizes 200 -o "$fleet_tmp"
+rm -f "$fleet_tmp"
 
 echo "== service binaries respond to -help"
 go run ./cmd/blkd -help

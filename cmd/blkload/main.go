@@ -16,6 +16,12 @@
 // server's delta-simulation segment cache exploits. After the run,
 // blkload samples GET /v1/stats and reports the server-side segment
 // cache counters alongside the client-observed result cache ratios.
+//
+// -fleet switches blkload from many session requests to one population
+// request: POST /v1/fleet with -n devices and -seed as the population
+// seed, streamed so progress renders live. The report becomes
+// devices/sec plus the aggregate battery-impact percentiles, and the
+// segment-cache counters show how much the fleet's devices shared.
 package main
 
 import (
@@ -37,6 +43,7 @@ func main() {
 	n := fs.Int("n", 2000, "total requests")
 	dup := fs.Float64("dup", 0.5, "fraction of requests duplicating an earlier one [0,1)")
 	sweep := fs.Bool("sweep", false, "axis-neighbor sweep schedule (one knob moves per new configuration)")
+	fleetRun := fs.Bool("fleet", false, "drive one streamed /v1/fleet population run of -n devices instead of session load")
 	seed := fs.Int64("seed", 1, "schedule seed")
 	jsonOut := fs.String("json", "", "also write the report as JSON to this file")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -50,6 +57,13 @@ func main() {
 	if err := client.Health(context.Background()); err != nil {
 		fmt.Fprintf(os.Stderr, "blkload: %s is not healthy: %v\n", *url, err)
 		os.Exit(1)
+	}
+	if *fleetRun {
+		if err := runFleet(client, *n, uint64(*seed), *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "blkload:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	report, err := api.RunLoad(context.Background(), client, api.LoadOptions{
 		Concurrency: *c,
@@ -90,6 +104,64 @@ func main() {
 	if report.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// fleetReport is the JSON form of a fleet run's client-side report.
+type fleetReport struct {
+	Devices       int               `json:"devices"`
+	Unique        int               `json:"unique_configs"`
+	Wall          time.Duration     `json:"wall_ns"`
+	DevicesPerSec float64           `json:"devices_per_sec"`
+	Response      api.FleetResponse `json:"response"`
+}
+
+// runFleet drives one streamed population run and reports devices/sec
+// plus the aggregate distributions.
+func runFleet(client *api.Client, size int, seed uint64, jsonOut string) error {
+	req := api.FleetRequest{Size: size, Seed: seed}
+	start := time.Now()
+	res, err := client.FleetStream(context.Background(), req, func(p api.FleetProgress) {
+		fmt.Fprintf(os.Stderr, "\rfleet       %d/%d devices", p.Done, p.Total)
+	})
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	rep := fleetReport{
+		Devices:       res.Devices,
+		Unique:        res.Unique,
+		Wall:          wall,
+		DevicesPerSec: float64(res.Devices) / wall.Seconds(),
+		Response:      res,
+	}
+	fmt.Printf("fleet       %d devices (%d unique configs), scheme %s\n", res.Devices, res.Unique, res.Scheme)
+	fmt.Printf("wall        %v\n", wall.Round(time.Millisecond))
+	fmt.Printf("throughput  %.1f devices/s\n", rep.DevicesPerSec)
+	for _, m := range res.Metrics {
+		if m.Hist == nil {
+			continue
+		}
+		fmt.Printf("%-11s mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f %s\n",
+			m.Name, m.Mean, m.P50, m.P95, m.P99, m.Unit)
+	}
+	if stats, err := client.Stats(context.Background()); err == nil {
+		printSegmentStats(os.Stdout, stats)
+	} else {
+		fmt.Fprintln(os.Stderr, "blkload: stats:", err)
+	}
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(jsonOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	return nil
 }
 
 // printReport renders the human-readable summary.

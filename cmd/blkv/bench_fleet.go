@@ -1,0 +1,145 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"burstlink/internal/fleet"
+	"burstlink/internal/memo"
+	"burstlink/internal/par"
+	"burstlink/internal/sink"
+)
+
+// bench-json fleet measures the batch execution engine: the reference
+// population at several sizes, each run twice — the delta arm (shared
+// segment cache) and the scratch arm (full timeline expansion per
+// session). Both arms produce bit-identical aggregates (asserted per
+// point); the report is the throughput contrast and the segment-cache
+// hit ratio that explains it. Population scaling is nearly free for the
+// delta arm because device count grows while the unique-configuration
+// count saturates at the spec's cross product.
+
+// fleetArm is one (size, strategy) measurement.
+type fleetArm struct {
+	WallNs          int64   `json:"wall_ns"`
+	DevicesPerSec   float64 `json:"devices_per_sec"`
+	SegmentHits     uint64  `json:"segment_hits"`
+	SegmentMisses   uint64  `json:"segment_misses"`
+	SegmentHitRatio float64 `json:"segment_hit_ratio"`
+}
+
+// fleetPoint is one population size: both arms plus the cross-checks.
+type fleetPoint struct {
+	Size   int      `json:"size"`
+	Unique int      `json:"unique_configs"`
+	Delta  fleetArm `json:"delta"`
+	// Scratch omits segment counters: the scratch arm runs no cache.
+	Scratch fleetArm `json:"scratch"`
+	// Speedup is delta devices/sec over scratch devices/sec.
+	Speedup float64 `json:"speedup"`
+	// AggregatesMatch asserts the two arms' aggregate JSON was
+	// byte-identical (the determinism contract at bench scale).
+	AggregatesMatch bool `json:"aggregates_match"`
+}
+
+// fleetBenchReport is the top-level BENCH_fleet.json document.
+type fleetBenchReport struct {
+	Seed    uint64       `json:"seed"`
+	Workers int          `json:"workers"`
+	Points  []fleetPoint `json:"points"`
+}
+
+// runFleetArm executes the reference population at one size under one
+// strategy and returns the timing plus the aggregate bytes.
+func runFleetArm(size int, seed uint64, scratch bool) (fleetArm, []byte, int, error) {
+	pop := fleet.Default()
+	pop.Size = size
+	pop.Seed = seed
+	opts := fleet.Options{Scratch: scratch}
+	if !scratch {
+		opts.Memo = memo.NewCache(8192)
+	}
+	var agg sink.Agg
+	start := time.Now()
+	out, err := fleet.Run(context.Background(), pop, &agg, opts)
+	wall := time.Since(start)
+	if err != nil {
+		return fleetArm{}, nil, 0, err
+	}
+	b, err := json.Marshal(agg.Summaries())
+	if err != nil {
+		return fleetArm{}, nil, 0, err
+	}
+	arm := fleetArm{
+		WallNs:        wall.Nanoseconds(),
+		DevicesPerSec: float64(out.Devices) / wall.Seconds(),
+	}
+	if opts.Memo != nil {
+		st := opts.Memo.Stats()
+		arm.SegmentHits = st.Hits
+		arm.SegmentMisses = st.Misses
+		if total := st.Hits + st.Misses; total > 0 {
+			arm.SegmentHitRatio = float64(st.Hits) / float64(total)
+		}
+	}
+	return arm, b, out.Unique, nil
+}
+
+func benchFleetCmd(args []string) error {
+	fs := flag.NewFlagSet("bench-json fleet", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_fleet.json", "output JSON file")
+	sizes := fs.String("sizes", "1000,10000", "comma-separated population sizes")
+	seed := fs.Uint64("seed", 1, "population seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	report := fleetBenchReport{Seed: *seed, Workers: par.Workers()}
+	for _, field := range strings.Split(*sizes, ",") {
+		size, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || size < 1 {
+			return fmt.Errorf("bench-json fleet: bad size %q", field)
+		}
+		delta, deltaAgg, unique, err := runFleetArm(size, *seed, false)
+		if err != nil {
+			return fmt.Errorf("bench-json fleet (delta, n=%d): %w", size, err)
+		}
+		scratch, scratchAgg, _, err := runFleetArm(size, *seed, true)
+		if err != nil {
+			return fmt.Errorf("bench-json fleet (scratch, n=%d): %w", size, err)
+		}
+		pt := fleetPoint{
+			Size:            size,
+			Unique:          unique,
+			Delta:           delta,
+			Scratch:         scratch,
+			AggregatesMatch: string(deltaAgg) == string(scratchAgg),
+		}
+		if scratch.DevicesPerSec > 0 {
+			pt.Speedup = delta.DevicesPerSec / scratch.DevicesPerSec
+		}
+		if !pt.AggregatesMatch {
+			return fmt.Errorf("bench-json fleet (n=%d): delta and scratch aggregates differ", size)
+		}
+		report.Points = append(report.Points, pt)
+		fmt.Printf("fleet n=%-8d unique %-4d delta %10.1f dev/s (hit %.2f)   scratch %8.1f dev/s   speedup %.1fx\n",
+			size, unique, delta.DevicesPerSec, delta.SegmentHitRatio, scratch.DevicesPerSec, pt.Speedup)
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (workers=%d)\n", *out, report.Workers)
+	return nil
+}

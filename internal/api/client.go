@@ -95,6 +95,70 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest) (SweepResponse, Ca
 	return out, status, err
 }
 
+// Fleet runs a population simulation and reports how the response was
+// produced. The request is sent with Stream forced off; use FleetStream
+// for progress events.
+func (c *Client) Fleet(ctx context.Context, req FleetRequest) (FleetResponse, CacheStatus, error) {
+	req.Stream = false
+	body, err := json.Marshal(req)
+	if err != nil {
+		return FleetResponse{}, "", err
+	}
+	var out FleetResponse
+	status, err := c.do(ctx, http.MethodPost, "/v1/fleet", body, &out)
+	return out, status, err
+}
+
+// FleetStream runs a population simulation in streaming mode: progress
+// events invoke onProgress as they arrive (may be nil), and the final
+// aggregate is returned. Streamed runs bypass the server's result cache.
+func (c *Client) FleetStream(ctx context.Context, req FleetRequest, onProgress func(FleetProgress)) (FleetResponse, error) {
+	req.Stream = true
+	body, err := json.Marshal(req)
+	if err != nil {
+		return FleetResponse{}, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/fleet", bytes.NewReader(body))
+	if err != nil {
+		return FleetResponse{}, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return FleetResponse{}, err
+	}
+	// Close failures after a full read carry no information we can act on.
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var env errorEnvelope
+		if jErr := json.Unmarshal(data, &env); jErr == nil && env.Error != nil {
+			env.Error.Status = resp.StatusCode
+			return FleetResponse{}, env.Error
+		}
+		return FleetResponse{}, Errf(resp.StatusCode, "http_error", "POST /v1/fleet: status %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		if err := ctx.Err(); err != nil {
+			return FleetResponse{}, err
+		}
+		var ev FleetEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return FleetResponse{}, fmt.Errorf("api: fleet stream ended without a result")
+			}
+			return FleetResponse{}, fmt.Errorf("api: decoding fleet stream: %w", err)
+		}
+		if ev.Progress != nil && onProgress != nil {
+			onProgress(*ev.Progress)
+		}
+		if ev.Result != nil {
+			return *ev.Result, nil
+		}
+	}
+}
+
 // Experiment fetches one §6 experiment table as its JSON document.
 func (c *Client) Experiment(ctx context.Context, id string) (json.RawMessage, error) {
 	var out json.RawMessage

@@ -3,7 +3,8 @@ package exp
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
+
+	"burstlink/internal/sink"
 )
 
 // jsonTable is the machine-readable form of a Table.
@@ -17,17 +18,20 @@ type jsonTable struct {
 
 // JSON renders the table as indented JSON with rows keyed by column name,
 // so downstream tooling (plots, dashboards) can consume experiment
-// results without screen-scraping the text tables.
+// results without screen-scraping the text tables. The table replays
+// through the columnar sink layer: Stream feeds a sink.Columns store and
+// the JSON rows read back column-wise, the same path any other sink
+// consumer of a table takes.
 func (t Table) JSON() ([]byte, error) {
+	var cols sink.Columns
+	if err := t.Stream(&cols); err != nil {
+		return nil, err
+	}
 	jt := jsonTable{ID: t.ID, Title: t.Title, Header: t.Header, Notes: t.Notes}
-	for _, row := range t.Rows {
-		m := make(map[string]string, len(row))
-		for i, cell := range row {
-			key := fmt.Sprintf("col%d", i)
-			if i < len(t.Header) {
-				key = t.Header[i]
-			}
-			m[key] = cell
+	for r := 0; r < cols.Rows(); r++ {
+		m := make(map[string]string, len(cols.Schema.Cols))
+		for c, col := range cols.Schema.Cols {
+			m[col.Name] = cols.StringAt(c, r)
 		}
 		jt.Rows = append(jt.Rows, m)
 	}

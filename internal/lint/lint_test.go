@@ -151,6 +151,13 @@ func TestMemoKeyCheckFixture(t *testing.T) {
 	checkFixture(t, "memofix", []*Analyzer{MemoKeyCheck})
 }
 
+// TestFleetFixFixture pins memokeycheck against the fleet device-key
+// shape: length-prefix-plus-range coverage of a segment slice passes,
+// len()-only keying of a collection field fires.
+func TestFleetFixFixture(t *testing.T) {
+	checkFixture(t, "fleetfix", []*Analyzer{MemoKeyCheck})
+}
+
 // TestIgnoreDirectives drives the full pipeline over the ignorefix
 // package: three suppressed sites must vanish, and the malformed or
 // mis-targeted directives must leave their findings standing.

@@ -19,11 +19,16 @@ import (
 // parameter is a *memo.KeyWriter and whose receiver is a struct, each
 // receiver field must be read somewhere in the body (a selector on the
 // receiver — directly in a writer call, through a nested selector like
-// k.Res.Width, or feeding a sort-then-write loop). A field that is
-// deliberately excluded (because it provably cannot affect the segment's
-// output) belongs in a dedicated narrower key struct — the way
-// pipeline.videoKey omits FPS — or under an explicit
-// //lint:ignore memokeycheck with the proof in the reason.
+// k.Res.Width, or feeding a sort-then-write loop). For collection
+// fields (slices, arrays, maps, strings) a bare len(x.Field) read does
+// NOT count: writing only the length under-keys the field — two fleet
+// device days with equally many but different segments would collide —
+// so the elements themselves must be read (ranged over, indexed, or the
+// field passed whole). A field that is deliberately excluded (because
+// it provably cannot affect the segment's output) belongs in a
+// dedicated narrower key struct — the way pipeline.videoKey omits FPS —
+// or under an explicit //lint:ignore memokeycheck with the proof in the
+// reason.
 var MemoKeyCheck = &Analyzer{
 	Name: "memokeycheck",
 	Doc:  "flag AppendKey methods that do not write every receiver field into the canonical segment key",
@@ -101,9 +106,24 @@ func checkAppendKey(pass *Pass, fn *ast.FuncDecl) {
 	}
 
 	read := make(map[string]bool)
+	lenOnly := make(map[string]bool)
 	escapes := false
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
+		case *ast.CallExpr:
+			// len(recv.Field) is a weak read: it covers the count, not
+			// the elements. Record it separately and skip the subtree so
+			// the selector below does not register a full read.
+			if id, ok := x.Fun.(*ast.Ident); ok && len(x.Args) == 1 {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "len" {
+					if sel, ok := x.Args[0].(*ast.SelectorExpr); ok {
+						if base, ok := sel.X.(*ast.Ident); ok && recvObj != nil && pass.TypesInfo.Uses[base] == recvObj {
+							lenOnly[sel.Sel.Name] = true
+							return false
+						}
+					}
+				}
+			}
 		case *ast.SelectorExpr:
 			if id, ok := x.X.(*ast.Ident); ok && recvObj != nil && pass.TypesInfo.Uses[id] == recvObj {
 				read[x.Sel.Name] = true
@@ -123,16 +143,41 @@ func checkAppendKey(pass *Pass, fn *ast.FuncDecl) {
 		return
 	}
 
-	var missing []string
-	for _, f := range fields {
-		if !read[f] {
-			missing = append(missing, f)
+	var missing, lengthed []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "_" || read[f.Name()] {
+			continue
 		}
+		if lenOnly[f.Name()] {
+			// A len-only read suffices for scalars (there is nothing
+			// else to key) but under-keys collections.
+			if isCollection(f.Type()) {
+				lengthed = append(lengthed, f.Name())
+			}
+			continue
+		}
+		missing = append(missing, f.Name())
 	}
-	if len(missing) == 0 {
-		return
-	}
-	sort.Strings(missing)
 	recvName := types.ExprString(recvField.Type)
-	pass.Reportf(fn.Name.Pos(), "AppendKey on %s never writes %s into the canonical key; inputs differing only there collide and the segment cache serves stale results", recvName, strings.Join(missing, ", "))
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(fn.Name.Pos(), "AppendKey on %s never writes %s into the canonical key; inputs differing only there collide and the segment cache serves stale results", recvName, strings.Join(missing, ", "))
+	}
+	if len(lengthed) > 0 {
+		sort.Strings(lengthed)
+		pass.Reportf(fn.Name.Pos(), "AppendKey on %s keys only the length of %s; inputs with equally many but different elements collide — range over the elements or w.Sub each one", recvName, strings.Join(lengthed, ", "))
+	}
+}
+
+// isCollection reports whether a field type's identity lives in its
+// elements, making a len()-only key insufficient.
+func isCollection(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Map:
+		return true
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
 }

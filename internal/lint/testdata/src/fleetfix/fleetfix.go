@@ -1,0 +1,103 @@
+// Package fleetfix exercises memokeycheck against the fleet device-key
+// shape (internal/fleet): a composite key built from a nested class Sub
+// plus a length-prefixed loop of segment Subs passes, while keying a
+// collection field only through len() fires — two devices with equally
+// many but different segments must not collide.
+package fleetfix
+
+import (
+	"burstlink/internal/memo"
+)
+
+type class struct {
+	Name string
+	Perf float64
+}
+
+func (c class) AppendKey(w *memo.KeyWriter) {
+	w.String("name", c.Name)
+	w.Float("perf", c.Perf)
+}
+
+type segment struct {
+	Content string
+	Hours   float64
+}
+
+func (s segment) AppendKey(w *memo.KeyWriter) {
+	w.String("content", s.Content)
+	w.Float("hours", s.Hours)
+}
+
+// device mirrors fleet.Device: the nested class re-keys through Sub,
+// and the segment slice is covered by a length prefix PLUS a range that
+// Subs every element. No finding.
+type device struct {
+	Class    class
+	Segments []segment
+}
+
+func (d device) AppendKey(w *memo.KeyWriter) {
+	w.Sub("class", d.Class)
+	w.Int("segments", int64(len(d.Segments)))
+	for _, s := range d.Segments {
+		w.Sub("segment", s)
+	}
+}
+
+// lenOnlyDevice keys the segment slice only through its length: devices
+// with equally many but different segments collide.
+type lenOnlyDevice struct {
+	Class    class
+	Segments []segment
+}
+
+func (d lenOnlyDevice) AppendKey(w *memo.KeyWriter) { // want "AppendKey on lenOnlyDevice keys only the length of Segments"
+	w.Sub("class", d.Class)
+	w.Int("segments", int64(len(d.Segments)))
+}
+
+// lenOnlyString does the same with a string field: len\("ab"\) ==
+// len\("xy"\), so the content never reaches the key.
+type lenOnlyString struct {
+	Name string
+}
+
+func (l lenOnlyString) AppendKey(w *memo.KeyWriter) { // want "AppendKey on lenOnlyString keys only the length of Name"
+	w.Int("name_len", int64(len(l.Name)))
+}
+
+// indexedRead reads an element off the slice; that is a real (if
+// partial) element read, which the structural check accepts.
+type indexedRead struct {
+	Segments []segment
+}
+
+func (d indexedRead) AppendKey(w *memo.KeyWriter) {
+	w.Sub("first", d.Segments[0])
+	w.Int("segments", int64(len(d.Segments)))
+}
+
+// chanLen keys a channel field by its length: channels have no element
+// identity to key, so a len()-only read is as good as it gets and does
+// not fire.
+type chanLen struct {
+	Pending chan int
+}
+
+func (c chanLen) AppendKey(w *memo.KeyWriter) {
+	w.Int("pending", int64(len(c.Pending)))
+}
+
+// both forgets one field entirely and len-only-keys another: the two
+// diagnostics land on the same method.
+type both struct {
+	Class    class
+	Seed     uint64
+	Segments []segment
+}
+
+func (b both) AppendKey(w *memo.KeyWriter) { // want "AppendKey on both never writes Seed" "AppendKey on both keys only the length of Segments"
+	w.Sub("class", b.Class)
+	w.Int("segments", int64(len(b.Segments)))
+}

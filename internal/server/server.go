@@ -37,11 +37,13 @@ import (
 	"burstlink/internal/api"
 	"burstlink/internal/cache"
 	"burstlink/internal/exp"
+	"burstlink/internal/fleet"
 	"burstlink/internal/memo"
 	"burstlink/internal/par"
 	"burstlink/internal/pipeline"
 	"burstlink/internal/power"
 	"burstlink/internal/session"
+	"burstlink/internal/sink"
 )
 
 // Config tunes the service layer. Zero values select the defaults noted
@@ -155,6 +157,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/session", s.admit(s.handleSession))
 	s.mux.HandleFunc("POST /v1/sweep", s.admit(s.handleSweep))
+	s.mux.HandleFunc("POST /v1/fleet", s.admit(s.handleFleet))
 	s.mux.HandleFunc("GET /v1/exp", s.handleExpList)
 	s.mux.HandleFunc("GET /v1/exp/{id}", s.admit(s.handleExp))
 	return s
@@ -323,6 +326,105 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return marshalBody(resp)
 	})
 	writeResult(w, body, status, aerr)
+}
+
+// runFleet executes one normalized, validated fleet request into the
+// final response body. The executor shares the server's segment cache
+// and scratch arm, so fleet devices reuse segments that session and
+// sweep requests already computed (and vice versa).
+func (s *Server) runFleet(ctx context.Context, req api.FleetRequest, progress func(done, total int)) ([]byte, *api.Error) {
+	if err := ctx.Err(); err != nil {
+		return nil, timeoutError(err)
+	}
+	pop, err := req.ToPopulation()
+	if err != nil {
+		return nil, api.Errf(http.StatusBadRequest, "bad_fleet", "%v", err)
+	}
+	var agg sink.Agg
+	out, err := fleet.Run(ctx, pop, &agg, fleet.Options{
+		Memo:     s.eng.Memo,
+		Scratch:  s.cfg.DisableDelta,
+		Platform: s.p,
+		Model:    s.m,
+		Progress: progress,
+	})
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, timeoutError(cerr)
+		}
+		// A valid spec can still sample an infeasible scenario on some
+		// class × content combination at simulation depth.
+		return nil, api.Errf(http.StatusUnprocessableEntity, "infeasible", "%v", err)
+	}
+	return marshalBody(api.FleetResponse{
+		Devices: out.Devices,
+		Unique:  out.Unique,
+		Scheme:  req.Scheme,
+		Metrics: agg.Summaries(),
+	})
+}
+
+// handleFleet serves POST /v1/fleet. The plain mode runs through the
+// result cache and coalescing like every other compute endpoint — fleet
+// aggregates are bit-identical across worker counts and cache states, so
+// a cached body is indistinguishable from a fresh run. Stream mode
+// writes NDJSON progress events followed by the final result; it
+// bypasses the result cache (the transport is the point) but still
+// shares the segment cache underneath.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	req, err := api.DecodeFleetRequest(r.Body)
+	if err != nil {
+		writeAnyError(w, err)
+		return
+	}
+	if req.Stream {
+		s.streamFleet(w, r, req)
+		return
+	}
+	body, status, aerr := s.execute(r.Context(), "v1/fleet:"+req.Key(), func() ([]byte, *api.Error) {
+		return s.runFleet(r.Context(), req, nil)
+	})
+	writeResult(w, body, status, aerr)
+}
+
+// streamFleet writes the NDJSON event stream for a streaming fleet run:
+// progress events whenever the completed percentage advances, then the
+// result. Once the first event is written the status is committed, so a
+// late failure surfaces as an error event rather than an error status.
+func (s *Server) streamFleet(w http.ResponseWriter, r *http.Request, req api.FleetRequest) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	lastPct := -1
+	// fleet.Run serializes Progress calls, so the writer needs no lock.
+	progress := func(done, total int) {
+		pct := done * 100 / total
+		if pct == lastPct {
+			return
+		}
+		lastPct = pct
+		// A failed write means the client is gone; the run's ctx check
+		// will notice the disconnect.
+		_ = enc.Encode(api.FleetEvent{Progress: &api.FleetProgress{Done: done, Total: total}})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	body, aerr := s.runFleet(r.Context(), req, progress)
+	if aerr != nil {
+		_ = enc.Encode(struct {
+			Error *api.Error `json:"error"`
+		}{aerr})
+		return
+	}
+	var resp api.FleetResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		_ = enc.Encode(struct {
+			Error *api.Error `json:"error"`
+		}{api.Errf(http.StatusInternalServerError, "encoding_failed", "%v", err)})
+		return
+	}
+	_ = enc.Encode(api.FleetEvent{Result: &resp})
 }
 
 // handleExp serves GET /v1/exp/{id}: one §6 table, JSON-encoded, through
