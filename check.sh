@@ -27,13 +27,23 @@ if [ -n "$fmt" ]; then
     exit 1
 fi
 
-# Locally, lint only what changed since origin/main (fast inner loop);
-# CI always runs the full module so nothing hides behind an old ref.
-# If origin/main is absent (fresh clone, detached checkout), fall back
-# to the full run rather than skipping.
+# Locally, lint only what changed since the merge base with origin/main
+# (fast inner loop); CI always runs the full module so nothing hides
+# behind an old ref. If origin/main is absent entirely (fresh clone with
+# no remote), fall back to the full run. But if the ref exists and no
+# merge base can be computed (detached head, unrelated or shallow
+# history), fail loudly: diffing against a non-ancestor produces a bogus
+# changed-set, and a silently-empty one would pass lint on code that was
+# never analyzed.
 if [ -z "$CI" ] && git rev-parse --verify --quiet origin/main >/dev/null 2>&1; then
-    echo "== blklint -changed origin/main"
-    go run ./cmd/blklint -changed origin/main
+    if ! base=$(git merge-base HEAD origin/main 2>/dev/null); then
+        echo "check.sh: origin/main exists but has no merge base with HEAD" >&2
+        echo "  (detached head, shallow clone, or unrelated history)" >&2
+        echo "  fix the checkout (git fetch --unshallow / reattach) or run CI=1 ./check.sh for a full-module lint" >&2
+        exit 1
+    fi
+    echo "== blklint -changed $base (merge base with origin/main)"
+    go run ./cmd/blklint -changed "$base"
 else
     echo "== blklint ./..."
     go run ./cmd/blklint ./...
@@ -56,6 +66,7 @@ go test -run='^$' -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=5s ./internal/codec
 go test -run='^$' -fuzz=FuzzResolutionFrameSize -fuzztime=5s ./internal/units
 go test -run='^$' -fuzz=FuzzAPIDecodeRequest -fuzztime=5s ./internal/api
 go test -run='^$' -fuzz=FuzzSegmentKey -fuzztime=5s ./internal/memo
+go test -run='^$' -fuzz=FuzzDeviceKey -fuzztime=5s ./internal/fleet
 
 # The fleet bench asserts the scratch and delta arms produce identical
 # aggregates before reporting speedup, so this smoke doubles as an

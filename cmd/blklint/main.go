@@ -1,9 +1,11 @@
 // Command blklint runs BurstLink's domain-aware static analyzers over the
 // module: determinism (determcheck), unit safety (unitcheck), concurrency
 // discipline (parcheck), pool hygiene (poolcheck), dropped errors
-// (errdrop), and the interprocedural CFG-based checks (gatecheck,
-// ctxcheck, lockcheck, detflow). See README.md "Static analysis" and
-// DESIGN.md §4.6/§4.8.
+// (errdrop), the interprocedural CFG-based checks (gatecheck, ctxcheck,
+// lockcheck, detflow), key exhaustiveness for the segment cache
+// (memokeycheck), and the value-flow cache-integrity pair (aliascheck,
+// purecheck). See README.md "Static analysis" and DESIGN.md
+// §4.6/§4.8/§4.11.
 //
 // Usage:
 //

@@ -79,6 +79,9 @@ func benchJSONCmd(args []string) error {
 	if len(args) > 0 && args[0] == "fleet" {
 		return benchFleetCmd(args[1:])
 	}
+	if len(args) > 0 && args[0] == "lint" {
+		return benchLintCmd(args[1:])
+	}
 	fs := flag.NewFlagSet("bench-json", flag.ContinueOnError)
 	out := fs.String("o", "BENCH_parallel.json", "output JSON file")
 	w := fs.Int("w", 1280, "encode benchmark frame width")

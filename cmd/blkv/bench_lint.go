@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"burstlink/internal/lint"
+)
+
+// bench-json lint measures the static-analysis budget the same way the
+// simulation hot paths are measured: wall-clock for a full-module
+// blklint run, split into the one-time load/type-check cost and the
+// per-analyzer-set analysis cost. Two arms: the v2 set (everything up
+// to the CFG/call-graph analyzers) and the full set including the v3
+// value-flow analyzers (aliascheck, purecheck), so the report is the
+// marginal cost of cache-integrity analysis. Each arm rebuilds the
+// shared Program from scratch — summaries are memoized within a run,
+// never across arms — so the contrast is load-free but honest.
+
+// lintArm is one analyzer-set measurement: best-of-reps analysis wall
+// time and the (rep-invariant) findings count.
+type lintArm struct {
+	Analyzers int   `json:"analyzers"`
+	AnalyzeNs int64 `json:"analyze_ns"`
+	Findings  int   `json:"findings"`
+}
+
+// lintBenchReport is the top-level BENCH_lint.json document.
+type lintBenchReport struct {
+	Packages int     `json:"packages"`
+	LoadNs   int64   `json:"load_ns"`
+	Reps     int     `json:"reps"`
+	V2       lintArm `json:"v2"`
+	V3       lintArm `json:"v2_plus_v3"`
+	// V3CostRatio is the full-set analysis time over the v2-only time:
+	// how much the value-flow layer adds on top of everything before it.
+	V3CostRatio float64 `json:"v3_cost_ratio"`
+}
+
+// measureLintArm runs the analyzer set reps times over the loaded
+// packages, keeping the best wall time and the findings count (which
+// must not vary across reps — the analyzers are deterministic).
+func measureLintArm(pkgs []*lint.Package, analyzers []*lint.Analyzer, reps int) (lintArm, error) {
+	arm := lintArm{Analyzers: len(analyzers)}
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		findings := lint.RunAnalyzers(pkgs, analyzers)
+		d := time.Since(start)
+		if i > 0 && len(findings) != arm.Findings {
+			return lintArm{}, fmt.Errorf("findings count unstable across reps: %d then %d", arm.Findings, len(findings))
+		}
+		arm.Findings = len(findings)
+		if arm.AnalyzeNs == 0 || d.Nanoseconds() < arm.AnalyzeNs {
+			arm.AnalyzeNs = d.Nanoseconds()
+		}
+	}
+	return arm, nil
+}
+
+func benchLintCmd(args []string) error {
+	fs := flag.NewFlagSet("bench-json lint", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_lint.json", "output JSON file")
+	reps := fs.Int("reps", 3, "repetitions per analyzer set (best time wins)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *reps < 1 {
+		return fmt.Errorf("bench-json lint: -reps must be >= 1")
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	pkgs, err := lint.Load(wd, []string{"./..."})
+	if err != nil {
+		return fmt.Errorf("bench-json lint: %w", err)
+	}
+	report := lintBenchReport{
+		Packages: len(pkgs),
+		LoadNs:   time.Since(start).Nanoseconds(),
+		Reps:     *reps,
+	}
+
+	all := lint.All()
+	v2 := make([]*lint.Analyzer, 0, len(all))
+	for _, a := range all {
+		if a.Name == "aliascheck" || a.Name == "purecheck" {
+			continue
+		}
+		v2 = append(v2, a)
+	}
+	if report.V2, err = measureLintArm(pkgs, v2, *reps); err != nil {
+		return fmt.Errorf("bench-json lint (v2): %w", err)
+	}
+	if report.V3, err = measureLintArm(pkgs, all, *reps); err != nil {
+		return fmt.Errorf("bench-json lint (v2+v3): %w", err)
+	}
+	if report.V2.AnalyzeNs > 0 {
+		report.V3CostRatio = float64(report.V3.AnalyzeNs) / float64(report.V2.AnalyzeNs)
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("lint load %6.1fms (%d pkgs)   v2 (%d analyzers) %6.1fms, %d findings   v2+v3 (%d) %6.1fms, %d findings   v3 cost %.2fx\n",
+		float64(report.LoadNs)/1e6, report.Packages,
+		report.V2.Analyzers, float64(report.V2.AnalyzeNs)/1e6, report.V2.Findings,
+		report.V3.Analyzers, float64(report.V3.AnalyzeNs)/1e6, report.V3.Findings,
+		report.V3CostRatio)
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"burstlink/internal/units"
+)
+
+// FuzzDeviceKey fuzzes the canonical-key contract fleet dedup stands
+// on, mirroring memo.FuzzSegmentKey one level up: two independently
+// built equal device configurations key identically (equal population
+// sample ⇒ one simulation), and mutating any single knob — class,
+// content, or hour weights included — moves the key (distinct devices
+// never collapse onto one cached result).
+func FuzzDeviceKey(f *testing.F) {
+	f.Add("tablet", 3, 23000.0, 1920, 1080, uint8(60), 1.0,
+		"stream", 2, uint8(30), 1800, 4_000_000.0, false, 2.5, uint8(0))
+	f.Add("phone", 1, 15000.0, 2400, 1080, uint8(120), 0.7,
+		"vr360", 5, uint8(60), 600, 0.0, true, 0.5, uint8(7))
+	f.Add("", 0, 0.0, 0, 0, uint8(0), 0.0,
+		"", 0, uint8(0), 0, 0.0, false, 0.0, uint8(13))
+	f.Fuzz(func(t *testing.T, name string, weight int, battery float64,
+		w, h int, hz uint8, perf float64,
+		cname string, cweight int, fps uint8, seconds int, bps float64, vr bool,
+		hours float64, mut uint8) {
+		build := func() Device {
+			cl := Class{
+				Name:       name,
+				Weight:     weight,
+				BatteryMWh: battery,
+				Res:        units.Resolution{Width: w, Height: h},
+				Refresh:    units.RefreshRate(hz),
+				PerfScale:  perf,
+			}
+			ct := Content{
+				Name:     cname,
+				Weight:   cweight,
+				FPS:      units.FPS(fps),
+				Seconds:  seconds,
+				Bitrate:  units.DataRate(bps),
+				VR:       vr,
+				VRSource: units.R4K,
+			}
+			return Device{
+				Class: cl,
+				Segments: []DaySegment{
+					{Content: ct, Hours: hours},
+					{Content: ct, Hours: hours + 1},
+				},
+			}
+		}
+
+		// Semantic equality → key equality.
+		d, q := build(), build()
+		base := d.Key()
+		if base != q.Key() {
+			t.Fatal("equal devices keyed differently")
+		}
+
+		// Field sensitivity: mutate exactly one knob, in a way guaranteed
+		// to change its canonical representation, and require the key to
+		// move. Covers the class weight, the content weight, and the hour
+		// choice alongside every simulation-bearing field.
+		flip := func(v float64) float64 {
+			return math.Float64frombits(math.Float64bits(v) ^ 1)
+		}
+		switch mut % 13 {
+		case 0:
+			q.Class.Name += "x"
+		case 1:
+			q.Class.Weight++
+		case 2:
+			q.Class.BatteryMWh = flip(q.Class.BatteryMWh)
+		case 3:
+			q.Class.Res.Width++
+		case 4:
+			q.Class.Refresh++
+		case 5:
+			q.Class.PerfScale = flip(q.Class.PerfScale)
+		case 6:
+			q.Segments[0].Content.Name += "x"
+		case 7:
+			q.Segments[0].Content.Weight++
+		case 8:
+			q.Segments[0].Content.FPS++
+		case 9:
+			q.Segments[0].Content.Seconds++
+		case 10:
+			q.Segments[0].Content.Bitrate++
+		case 11:
+			q.Segments[0].Content.VR = !q.Segments[0].Content.VR
+		case 12:
+			q.Segments[0].Hours = flip(q.Segments[0].Hours)
+		}
+		if q.Key() == base {
+			t.Fatalf("mutating device knob %d did not change key", mut%13)
+		}
+
+		// Segment order and count are part of the identity too: the
+		// sampler emits canonical (sorted) order, so a reordered or
+		// truncated day is a different device.
+		r := build()
+		r.Segments[0], r.Segments[1] = r.Segments[1], r.Segments[0]
+		if r.Key() == base && r.Segments[0].Hours != r.Segments[1].Hours {
+			t.Fatal("segment order not keyed")
+		}
+		s := build()
+		s.Segments = s.Segments[:1]
+		if s.Key() == base {
+			t.Fatal("segment count not keyed")
+		}
+	})
+}

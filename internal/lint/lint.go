@@ -34,6 +34,17 @@
 //   - detflow: map-iteration order must not reach float accumulators or
 //     wire-visible output, even through one helper-function hop.
 //
+// The value-flow layer (valueflow.go — per-function alias-origin
+// analysis with interprocedural mutation/alias/borrow summaries) adds
+// the cache-integrity pair:
+//
+//   - aliascheck: memory obtained from a cache hit is shared and
+//     immutable; values inserted into a cache must not alias
+//     caller-owned buffers.
+//   - purecheck: memoized compute functions must be pure — no
+//     clock/rand/os, no mutable package state, no caller-visible
+//     writes — to one summarized call level.
+//
 // Findings support //lint:ignore <analyzer> <reason> suppressions on the
 // finding's line or the line above it.
 package lint
@@ -109,6 +120,8 @@ func All() []*Analyzer {
 		LockCheck,
 		DetFlow,
 		MemoKeyCheck,
+		AliasCheck,
+		PureCheck,
 	}
 }
 

@@ -151,6 +151,22 @@ func TestMemoKeyCheckFixture(t *testing.T) {
 	checkFixture(t, "memofix", []*Analyzer{MemoKeyCheck})
 }
 
+// TestAliasCheckFixture drives the value-flow layer end to end: direct
+// hit mutation, mutation through a borrow summary and a mutation
+// summary, insertions aliasing caller memory, and the defensive-copy
+// idioms that must stay clean.
+func TestAliasCheckFixture(t *testing.T) {
+	checkFixture(t, "aliasfix", []*Analyzer{AliasCheck})
+}
+
+// TestPureCheckFixture pins purecheck's impurity families: clock/rand/
+// os (directly and via a one-level callee summary), mutable package
+// state, caller-visible writes, and root extension through once-bound
+// local literals.
+func TestPureCheckFixture(t *testing.T) {
+	checkFixture(t, "purefix", []*Analyzer{PureCheck})
+}
+
 // TestFleetFixFixture pins memokeycheck against the fleet device-key
 // shape: length-prefix-plus-range coverage of a segment slice passes,
 // len()-only keying of a collection field fires.

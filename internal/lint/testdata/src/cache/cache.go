@@ -1,0 +1,21 @@
+// Package cache is a stub of burstlink/internal/cache for the
+// aliascheck fixtures: just the LRU surface whose Get hands back
+// cache-resident memory and whose Put retains its value argument. The
+// value-flow layer matches the package by import-path suffix, so this
+// stub resolves exactly like the real one.
+package cache
+
+// LRU is the byte-value cache stub.
+type LRU struct{ m map[string][]byte }
+
+// NewLRU returns a stub LRU.
+func NewLRU(capacity int) *LRU { return &LRU{m: map[string][]byte{}} }
+
+// Get returns the cached value, aliased.
+func (c *LRU) Get(key string) ([]byte, bool) {
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// Put stores val, retaining the reference.
+func (c *LRU) Put(key string, val []byte) { c.m[key] = val }

@@ -34,3 +34,25 @@ func (w *KeyWriter) Duration(name string, v time.Duration) {}
 
 // Sub writes a named nested keyer.
 func (w *KeyWriter) Sub(name string, k Keyer) {}
+
+// Cache is the segment-cache stub: Do computes directly; Get and Put
+// give the value-flow layer a hit source and an insertion sink that
+// resolve exactly like the real burstlink/internal/memo.
+type Cache struct{ m map[string]any }
+
+// NewCache returns a stub cache.
+func NewCache(capacity int) *Cache { return &Cache{m: map[string]any{}} }
+
+// Get returns the cached value, aliased.
+func (c *Cache) Get(key string) (any, bool) {
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// Put stores v, retaining the reference.
+func (c *Cache) Put(key string, v any) { c.m[key] = v }
+
+// Do runs compute directly; the real Do memoizes it.
+func Do[T any](c *Cache, segment string, in Keyer, compute func() (T, error)) (T, error) {
+	return compute()
+}

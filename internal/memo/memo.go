@@ -19,7 +19,12 @@
 // on one key run the segment once and share the value. Cached values are
 // aliased, never copied — segment outputs are immutable by contract
 // (the determinism suite pins that a cached segment is bit-identical to
-// a recomputed one).
+// a recomputed one). That contract is enforced on two levels: the
+// blklint aliascheck analyzer statically rejects writes through
+// hit-derived memory, and value types that implement Clone() T opt into
+// Do's deep-copy-on-get guard, which hands every caller an owned copy so
+// even a mutation the analyzer cannot prove away never reaches the
+// cached original.
 //
 // The companion blklint analyzer memokeycheck enforces the key
 // discipline statically: every field of a segment input struct must be
@@ -247,6 +252,16 @@ func (c *Cache) do(key string, compute func() (any, error)) (any, error) {
 // misses coalesce onto one execution, and a nil or disabled cache
 // computes directly (scratch mode). The cached value is aliased:
 // compute must return a value that is never mutated afterwards.
+//
+// Types that implement Clone() T opt into the deep-copy-on-get guard:
+// Do returns a clone of the cached value instead of the value itself,
+// so no caller ever holds a live alias into the cache. This is the
+// runtime twin of the static aliascheck analyzer — aliascheck proves
+// callers don't mutate hit-derived memory, the guard makes the cache
+// immune even to mutations the analyzer cannot see (unknown-origin
+// escapes, reflection, future callers outside the module). The clone
+// runs on every enabled-cache return, including the miss that inserted
+// the value, because the inserting caller aliases the cache too.
 func Do[T any](c *Cache, segment string, in Keyer, compute func() (T, error)) (T, error) {
 	if !c.Enabled() {
 		return compute()
@@ -256,5 +271,9 @@ func Do[T any](c *Cache, segment string, in Keyer, compute func() (T, error)) (T
 		var zero T
 		return zero, err
 	}
-	return v.(T), nil
+	out := v.(T)
+	if cl, ok := any(out).(interface{ Clone() T }); ok {
+		return cl.Clone(), nil
+	}
+	return out, nil
 }

@@ -183,3 +183,49 @@ func TestStatsString(t *testing.T) {
 		t.Fatal("empty stats")
 	}
 }
+
+// row is a cloneable segment output: implementing Clone() row opts it
+// into Do's deep-copy-on-get guard.
+type row []float64
+
+func (r row) Clone() row { return append(row(nil), r...) }
+
+// TestHitMutationDoesNotPoisonCache is the runtime twin of the
+// aliascheck headline finding: a caller that mutates a slice obtained
+// from a cache hit must not corrupt what the next hit of the same key
+// observes. For cloneable values the deep-copy-on-get guard makes this
+// hold unconditionally — on the inserting miss as well as on every hit.
+func TestHitMutationDoesNotPoisonCache(t *testing.T) {
+	c := NewCache(8)
+	calls := 0
+	get := func() row {
+		v, err := Do(c, "row", pair{1, 2}, func() (row, error) {
+			calls++
+			return row{1, 2, 3}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	first := get() // miss: the returned value aliases nothing the cache holds
+	first[0] = -99
+
+	second := get() // hit: must be pristine despite the mutation above
+	if second[0] != 1 || second[1] != 2 || second[2] != 3 {
+		t.Fatalf("cache poisoned by miss-path mutation: second Get = %v", second)
+	}
+	second[2] = -7
+
+	third := get() // hit again: unaffected by the hit-path mutation too
+	if third[0] != 1 || third[1] != 2 || third[2] != 3 {
+		t.Fatalf("cache poisoned by hit-path mutation: third Get = %v", third)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1 (clones must come from the cache, not recomputation)", calls)
+	}
+	if st := c.Stats(); st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want 2 hits / 1 miss", st)
+	}
+}

@@ -80,6 +80,15 @@ func (t *Timeline) Append(other Timeline) {
 	t.Phases = append(t.Phases, other.Phases...)
 }
 
+// Clone returns a deep copy of the timeline (Phase is a value struct,
+// so copying the slice copies everything). memo.Do recognizes this
+// method and returns clones instead of cache-resident originals — the
+// deep-copy-on-get guard — so memoized period timelines can never be
+// poisoned through a caller-held alias.
+func (t Timeline) Clone() Timeline {
+	return Timeline{Phases: append([]Phase(nil), t.Phases...)}
+}
+
 // Repeat returns a timeline of t repeated n times.
 func (t Timeline) Repeat(n int) Timeline {
 	out := Timeline{Phases: make([]Phase, 0, len(t.Phases)*n)}
