@@ -77,6 +77,17 @@ fleet_tmp=$(mktemp)
 go run ./cmd/blkv bench-json fleet -sizes 200 -o "$fleet_tmp"
 rm -f "$fleet_tmp"
 
+# The serve bench's cluster arms assert the two sharding invariants
+# before reporting: summed node misses equal the schedule's distinct
+# scenarios (each canonical key owned by exactly one node) and sampled
+# responses match the single-node arm byte for byte. A small 2-node run
+# is the cluster smoke; the committed BENCH_serve.json keeps the full
+# 1/2/4-node curves.
+echo "== cluster smoke (bench-json serve, 2 nodes)"
+serve_tmp=$(mktemp)
+go run ./cmd/blkv bench-json serve -c 16 -n 200 -nodes 1,2 -o "$serve_tmp"
+rm -f "$serve_tmp"
+
 echo "== service binaries respond to -help"
 go run ./cmd/blkd -help
 go run ./cmd/blkload -help

@@ -8,15 +8,27 @@
 //
 //	blkd [-addr :8080] [-cache 4096] [-segcache 8192] [-concurrency N]
 //	     [-queue 64] [-timeout 30s] [-drain 10s] [-no-coalesce]
+//	     [-node NAME] [-warm snapshot.gob]
+//	blkd -route http://node1:8080,http://node2:8080 [-vnodes 128]
 //
 // Endpoints:
 //
 //	POST /v1/session    run one streaming session under a scheme
 //	POST /v1/sweep      fan a scheme × resolution × fps sweep out
+//	POST /v1/fleet      run a device-population simulation
 //	GET  /v1/exp        list experiment IDs
 //	GET  /v1/exp/{id}   run one §6 experiment table
 //	GET  /v1/stats      service counters (cache, rejections, peaks)
+//	GET  /v1/health     node identity and load/fill document
+//	GET  /v1/snapshot   cache snapshot export for warm restarts
 //	GET  /healthz       liveness probe
+//
+// With -route, blkd runs as a thin cluster router instead of a compute
+// node: each request is canonicalized to its result-cache key and
+// forwarded to the consistent-hash owner among the listed backends, so
+// every scenario's cache entry lives on exactly one node. With -warm,
+// a compute node imports a snapshot (taken via GET /v1/snapshot from a
+// previous instance) before serving, restarting with its caches hot.
 //
 // blkd drains gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests finish (bounded by -drain), then the process exits.
@@ -28,11 +40,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"burstlink/internal/cluster"
 	"burstlink/internal/server"
 )
 
@@ -46,6 +60,10 @@ func main() {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request execution deadline")
 	drain := fs.Duration("drain", 10*time.Second, "graceful drain bound on shutdown")
 	noCoalesce := fs.Bool("no-coalesce", false, "disable coalescing of identical in-flight requests")
+	node := fs.String("node", "", "node name reported in /v1/health and /v1/stats (default blkd)")
+	warm := fs.String("warm", "", "import a cache snapshot file before serving (warm restart)")
+	route := fs.String("route", "", "run as a cluster router over these comma-separated backend URLs")
+	vnodes := fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per backend on the routing ring")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(0)
@@ -53,8 +71,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *route != "" {
+		if err := runRouter(ctx, *addr, *node, *route, *vnodes, *drain); err != nil {
+			fmt.Fprintln(os.Stderr, "blkd:", err)
+			os.Exit(1)
+		}
+		log.Printf("blkd router drained and stopped")
+		return
+	}
+
 	srv := server.New(server.Config{
 		Addr:                *addr,
+		NodeID:              *node,
 		MaxConcurrent:       *conc,
 		QueueDepth:          *queue,
 		CacheEntries:        *cacheN,
@@ -65,9 +96,21 @@ func main() {
 		RequestTimeout:      *timeout,
 		DrainTimeout:        *drain,
 	})
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if *warm != "" {
+		f, err := os.Open(*warm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blkd:", err)
+			os.Exit(1)
+		}
+		snap, err := srv.Warm(f)
+		_ = f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blkd: warm %s: %v\n", *warm, err)
+			os.Exit(1)
+		}
+		log.Printf("blkd warmed from %s (node %s: %d results, %d segments, %d skipped)",
+			*warm, snap.Node, len(snap.Results), len(snap.Segments), snap.SegmentsSkipped)
+	}
 
 	log.Printf("blkd listening on %s (cache=%d, segcache=%d, queue=%d, timeout=%v)", *addr, *cacheN, *segN, *queue, *timeout)
 	if err := srv.ListenAndServe(ctx); err != nil {
@@ -75,4 +118,24 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("blkd drained and stopped")
+}
+
+// runRouter serves the consistent-hash routing handler on addr until
+// ctx is canceled, reusing the compute node's drain lifecycle.
+func runRouter(ctx context.Context, addr, node, route string, vnodes int, drain time.Duration) error {
+	backends := cluster.SplitMembers(route)
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Node:     node,
+		Backends: backends,
+		VNodes:   vnodes,
+	})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("blkd routing on %s over %d backends (vnodes=%d)", addr, len(backends), vnodes)
+	return server.ServeHandler(ctx, l, rt.Handler(), drain)
 }

@@ -10,6 +10,7 @@
 //
 //	blkload [-url http://127.0.0.1:8080] [-c 64] [-n 2000]
 //	        [-dup 0.5] [-sweep] [-seed 1] [-json report.json]
+//	blkload -cluster http://node1:8080,http://node2:8080 [-vnodes 128] ...
 //
 // -sweep switches the schedule to an axis-neighbor walk (each new
 // configuration moves exactly one knob), the sweep-shaped workload the
@@ -22,6 +23,12 @@
 // seed, streamed so progress renders live. The report becomes
 // devices/sec plus the aggregate battery-impact percentiles, and the
 // segment-cache counters show how much the fleet's devices shared.
+//
+// -cluster drives the same schedule through client-side consistent-hash
+// sharding over the listed nodes: each request goes straight to the
+// ring owner of its canonical cache key. After the run, blkload reports
+// every node's counters and the per-node ownership skew (requests
+// versus a perfectly even split).
 package main
 
 import (
@@ -34,11 +41,14 @@ import (
 	"time"
 
 	"burstlink/internal/api"
+	"burstlink/internal/cluster"
 )
 
 func main() {
 	fs := flag.NewFlagSet("blkload", flag.ContinueOnError)
 	url := fs.String("url", "http://127.0.0.1:8080", "blkd base URL")
+	clusterURLs := fs.String("cluster", "", "comma-separated node URLs for client-side consistent-hash sharding (overrides -url)")
+	vnodes := fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per backend on the sharding ring")
 	c := fs.Int("c", 64, "closed-loop worker count")
 	n := fs.Int("n", 2000, "total requests")
 	dup := fs.Float64("dup", 0.5, "fraction of requests duplicating an earlier one [0,1)")
@@ -51,6 +61,14 @@ func main() {
 			os.Exit(0)
 		}
 		os.Exit(2)
+	}
+
+	if *clusterURLs != "" {
+		if err := runCluster(*clusterURLs, *vnodes, *c, *n, *dup, *sweep, *seed, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "blkload:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	client := api.NewClient(*url)
@@ -104,6 +122,84 @@ func main() {
 	if report.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// clusterReport is the JSON form of a sharded load run: the load
+// report plus every node's counters and the observed ownership skew.
+type clusterReport struct {
+	Nodes  []string       `json:"nodes"`
+	VNodes int            `json:"vnodes"`
+	Load   api.LoadReport `json:"load"`
+	Stats  []api.Stats    `json:"node_stats"`
+	// Skew is max per-node requests over the even share (1.0 = perfectly
+	// balanced).
+	Skew float64 `json:"skew"`
+}
+
+// runCluster drives the session schedule through client-side sharding
+// and reports per-node counters and the ownership skew.
+func runCluster(urls string, vnodes, c, n int, dup float64, sweep bool, seed int64, jsonOut string) error {
+	members := cluster.SplitMembers(urls)
+	sc, ring, err := cluster.NewShardedClient(members, vnodes)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if err := sc.Health(ctx); err != nil {
+		return err
+	}
+	before, err := sc.StatsAll(ctx)
+	if err != nil {
+		return err
+	}
+	report, err := api.RunLoad(ctx, sc, api.LoadOptions{
+		Concurrency: c,
+		Requests:    n,
+		DupRate:     dup,
+		Sweep:       sweep,
+		Seed:        seed,
+		Now:         time.Now,
+	})
+	if err != nil {
+		return err
+	}
+	after, err := sc.StatsAll(ctx)
+	if err != nil {
+		return err
+	}
+
+	printReport(os.Stdout, report)
+	rep := clusterReport{Nodes: ring.Nodes(), VNodes: ring.VNodes(), Load: report, Stats: after}
+	even := float64(report.Requests) / float64(len(after))
+	for i, st := range after {
+		sent := st.Requests - before[i].Requests
+		fmt.Printf("node %-28s %6d requests  %d hits, %d coalesced, %d misses (%d cached entries)\n",
+			st.Node, sent, st.CacheHits-before[i].CacheHits, st.Coalesced-before[i].Coalesced,
+			st.CacheMisses-before[i].CacheMisses, st.CacheEntries)
+		if even > 0 && float64(sent)/even > rep.Skew {
+			rep.Skew = float64(sent) / even
+		}
+	}
+	fmt.Printf("skew        %.2fx the even share across %d nodes (vnodes=%d)\n", rep.Skew, len(after), ring.VNodes())
+	if report.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "blkload: %d/%d requests failed (first: %s)\n",
+			report.Errors, report.Requests, report.FirstError)
+	}
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(jsonOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	if report.Errors > 0 {
+		return fmt.Errorf("%d requests failed", report.Errors)
+	}
+	return nil
 }
 
 // fleetReport is the JSON form of a fleet run's client-side report.

@@ -1,15 +1,21 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"burstlink/internal/api"
+	"burstlink/internal/cluster"
 	"burstlink/internal/server"
 )
 
@@ -29,6 +35,31 @@ type serveReport struct {
 	Uncached    api.LoadReport `json:"uncached"`
 	// Speedup is cached throughput over uncached throughput.
 	Speedup float64 `json:"speedup"`
+	// Cluster holds the scale-out arms: the same schedule driven through
+	// client-side consistent-hash sharding over 1, 2, 4, ... in-process
+	// nodes. Same-host arms measure ownership and cache behavior under
+	// scale-out — every node shares this machine's cores, so throughput
+	// is not expected to scale linearly.
+	Cluster []clusterArm `json:"cluster,omitempty"`
+}
+
+// clusterArm is one node-count arm of the scaling curve. The two
+// asserted invariants are the ones that make sharding worth having:
+// total node misses equals the schedule's distinct scenario count (each
+// canonical key computed on exactly one node, exactly once) and the
+// response bytes match the single-node arm byte for byte.
+type clusterArm struct {
+	Nodes      int            `json:"nodes"`
+	Load       api.LoadReport `json:"load"`
+	UniqueKeys int            `json:"unique_keys"`
+	// NodeMisses sums cache_misses across nodes; equality with
+	// UniqueKeys is the single-ownership proof.
+	NodeMisses uint64 `json:"node_misses"`
+	// Skew is max per-node requests over the even share.
+	Skew float64 `json:"skew"`
+	// ByteIdentical records that sampled responses matched the 1-node
+	// arm's bytes exactly.
+	ByteIdentical bool `json:"byte_identical"`
 }
 
 // runServeLoad starts an in-process server, drives the load schedule
@@ -57,6 +88,7 @@ func benchServeCmd(args []string) error {
 	dup := fs.Float64("dup", 0.5, "duplicate-scenario fraction [0,1)")
 	sweep := fs.Bool("sweep", false, "sweep-heavy workload: axis-neighbor cells, delta vs scratch simulation")
 	seed := fs.Int64("seed", 1, "schedule seed")
+	nodes := fs.String("nodes", "1,2,4", "comma-separated node counts for the cluster scaling arms (empty skips them)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,6 +136,13 @@ func benchServeCmd(args []string) error {
 	if uncached.Throughput > 0 {
 		report.Speedup = cached.Throughput / uncached.Throughput
 	}
+	if *nodes != "" {
+		arms, err := benchClusterArms(*nodes, opts)
+		if err != nil {
+			return fmt.Errorf("bench serve (cluster): %w", err)
+		}
+		report.Cluster = arms
+	}
 
 	b, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -120,6 +159,157 @@ func benchServeCmd(args []string) error {
 	fmt.Printf("  uncached  %8.1f req/s  p50 %8v  p99 %8v  hit ratio %.2f\n",
 		uncached.Throughput, uncached.P50.Round(time.Microsecond), uncached.P99.Round(time.Microsecond), uncached.HitRatio)
 	fmt.Printf("  speedup   %.2fx\n", report.Speedup)
+	for _, arm := range report.Cluster {
+		fmt.Printf("  %d-node    %8.1f req/s  hit ratio %.2f  misses %d/%d unique  skew %.2fx  bytes ok %v\n",
+			arm.Nodes, arm.Load.Throughput, arm.Load.HitRatio, arm.NodeMisses, arm.UniqueKeys, arm.Skew, arm.ByteIdentical)
+	}
 	fmt.Printf("wrote %s\n", *out)
 	return nil
+}
+
+// benchClusterArms runs the schedule through client-side sharding over
+// each requested node count and asserts single ownership (Σ node misses
+// == distinct scenarios) and byte-identity against the 1-node arm.
+func benchClusterArms(nodeList string, opts api.LoadOptions) ([]clusterArm, error) {
+	var counts []int
+	for _, part := range strings.Split(nodeList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -nodes entry %q", part)
+		}
+		counts = append(counts, v)
+	}
+
+	// The byte-identity probe replays the first distinct scenarios of the
+	// schedule; the 1-node arm's bodies (or the first arm's, if 1 was not
+	// requested) are the baseline the others must match byte for byte.
+	schedule := api.Schedule(opts)
+	uniqueKeys, probes := distinctRequests(schedule, 16)
+	var baseline [][]byte
+
+	var arms []clusterArm
+	for _, count := range counts {
+		arm, bodies, err := runClusterArm(count, opts, uniqueKeys, probes)
+		if err != nil {
+			return nil, err
+		}
+		if baseline == nil {
+			baseline = bodies
+			arm.ByteIdentical = true
+		} else {
+			arm.ByteIdentical = true
+			for i := range bodies {
+				if !bytes.Equal(bodies[i], baseline[i]) {
+					return nil, fmt.Errorf("%d-node arm: response %d differs from the single-node bytes", count, i)
+				}
+			}
+		}
+		arms = append(arms, arm)
+	}
+	return arms, nil
+}
+
+// distinctRequests returns the number of distinct canonical scenarios in
+// the schedule and up to max of them for the byte-identity probe.
+func distinctRequests(schedule []api.SessionRequest, max int) (int, []api.SessionRequest) {
+	seen := make(map[string]bool)
+	var probes []api.SessionRequest
+	for _, req := range schedule {
+		req.Normalize()
+		key := req.CacheKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if len(probes) < max {
+			probes = append(probes, req)
+		}
+	}
+	return len(seen), probes
+}
+
+// runClusterArm starts count in-process nodes, drives the schedule
+// through a sharded client, checks single ownership, and replays the
+// probe scenarios for raw response bytes.
+func runClusterArm(count int, opts api.LoadOptions, uniqueKeys int, probes []api.SessionRequest) (clusterArm, [][]byte, error) {
+	arm := clusterArm{Nodes: count, UniqueKeys: uniqueKeys}
+	urls := make([]string, count)
+	stops := make([]func() error, count)
+	for i := range urls {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return arm, nil, err
+		}
+		srv := server.New(server.Config{NodeID: fmt.Sprintf("node%d", i)})
+		stops[i] = srv.Start(l)
+		urls[i] = "http://" + l.Addr().String()
+	}
+	defer func() {
+		for _, stop := range stops {
+			_ = stop()
+		}
+	}()
+
+	sc, ring, err := cluster.NewShardedClient(urls, cluster.DefaultVNodes)
+	if err != nil {
+		return arm, nil, err
+	}
+	rep, err := api.RunLoad(context.Background(), sc, opts)
+	if err != nil {
+		return arm, nil, err
+	}
+	if rep.Errors > 0 {
+		return arm, nil, fmt.Errorf("%d-node arm: %d request errors (first: %s)", count, rep.Errors, rep.FirstError)
+	}
+	arm.Load = rep
+
+	stats, err := sc.StatsAll(context.Background())
+	if err != nil {
+		return arm, nil, err
+	}
+	even := float64(rep.Requests) / float64(count)
+	for _, st := range stats {
+		arm.NodeMisses += st.CacheMisses
+		if even > 0 && float64(st.Requests)/even > arm.Skew {
+			arm.Skew = float64(st.Requests) / even
+		}
+	}
+	if arm.NodeMisses != uint64(uniqueKeys) {
+		return arm, nil, fmt.Errorf("%d-node arm: %d node misses for %d distinct scenarios — a key was computed on more than one node",
+			count, arm.NodeMisses, uniqueKeys)
+	}
+
+	bodies := make([][]byte, len(probes))
+	for i, req := range probes {
+		owner := urls[ring.OwnerIndex(req.CacheKey())]
+		body, err := rawSession(owner, req)
+		if err != nil {
+			return arm, nil, err
+		}
+		bodies[i] = body
+	}
+	return arm, bodies, nil
+}
+
+// rawSession POSTs req to base/v1/session and returns the exact
+// response bytes, the currency of the byte-identity assertion.
+func rawSession(base string, req api.SessionRequest) ([]byte, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/v1/session", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	// Close failures after a full read carry no information we can act on.
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("raw session against %s: status %d", base, resp.StatusCode)
+	}
+	return body, nil
 }

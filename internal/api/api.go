@@ -146,16 +146,23 @@ type SweepResponse struct {
 	Cells []SweepCell `json:"cells"`
 }
 
-// Stats is the service's observable state (GET /v1/stats).
+// Stats is the service's observable state (GET /v1/stats). Node
+// identifies the reporting instance so cluster tooling can attribute
+// per-node counters; InFlight and Queued are instantaneous occupancy
+// (MaxInFlight is the high-water mark).
 type Stats struct {
-	Requests     uint64  `json:"requests"`
-	Rejected     uint64  `json:"rejected"`
-	CacheHits    uint64  `json:"cache_hits"`
-	CacheMisses  uint64  `json:"cache_misses"`
-	Coalesced    uint64  `json:"coalesced"`
-	CacheEntries int     `json:"cache_entries"`
-	HitRatio     float64 `json:"hit_ratio"`
-	MaxInFlight  int     `json:"max_in_flight"`
+	Node          string  `json:"node,omitempty"`
+	Requests      uint64  `json:"requests"`
+	Rejected      uint64  `json:"rejected"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	Coalesced     uint64  `json:"coalesced"`
+	CacheEntries  int     `json:"cache_entries"`
+	CacheCapacity int     `json:"cache_capacity"`
+	HitRatio      float64 `json:"hit_ratio"`
+	InFlight      int     `json:"in_flight"`
+	Queued        int     `json:"queued"`
+	MaxInFlight   int     `json:"max_in_flight"`
 	// Segment* expose the delta-simulation segment cache that sits under
 	// the result cache: per-segment (buffer / timeline / power-period)
 	// hits, misses, evictions, and coalesced computations.
@@ -164,7 +171,49 @@ type Stats struct {
 	SegmentEvictions uint64  `json:"segment_evictions"`
 	SegmentCoalesced uint64  `json:"segment_coalesced"`
 	SegmentEntries   int     `json:"segment_entries"`
+	SegmentCapacity  int     `json:"segment_capacity"`
 	SegmentHitRatio  float64 `json:"segment_hit_ratio"`
+}
+
+// Health is one node's liveness and load document (GET /v1/health): the
+// node id plus the instantaneous occupancy a router or balancer would
+// steer on. Fill ratios are entries over capacity; a disabled cache
+// reports zero fill.
+type Health struct {
+	Node           string  `json:"node"`
+	Status         string  `json:"status"`
+	InFlight       int     `json:"in_flight"`
+	Queued         int     `json:"queued"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheFill      float64 `json:"cache_fill"`
+	SegmentEntries int     `json:"segment_entries"`
+	SegmentFill    float64 `json:"segment_fill"`
+}
+
+// NodeCount is one node's share of a per-node counter, carried as an
+// ordered slice (ring order) rather than a map so the wire form is
+// deterministic.
+type NodeCount struct {
+	Node     string `json:"node"`
+	Requests uint64 `json:"requests"`
+}
+
+// ClusterStats is the router's aggregate view (GET /v1/stats on a
+// routing blkd): the requests it forwarded per backend, in ring order,
+// plus each backend's own Stats document.
+type ClusterStats struct {
+	Router    string      `json:"router"`
+	Requests  uint64      `json:"requests"`
+	Forwarded []NodeCount `json:"forwarded"`
+	Nodes     []Stats     `json:"nodes"`
+}
+
+// ClusterHealth is the router's aggregate health (GET /v1/health on a
+// routing blkd). Status is "ok" only when every backend probed ok.
+type ClusterHealth struct {
+	Router string   `json:"router"`
+	Status string   `json:"status"`
+	Nodes  []Health `json:"nodes"`
 }
 
 // ExperimentList is the catalogue served at GET /v1/exp.
@@ -294,6 +343,12 @@ func (r SessionRequest) Key() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// CacheKey returns the endpoint-qualified result-cache key the server
+// files this request under. It is the shared routing vocabulary: the
+// cluster ring hashes these exact strings, so the router, the sharded
+// client, and the server agree on which node owns a scenario.
+func (r SessionRequest) CacheKey() string { return "v1/session:" + r.Key() }
+
 // ToConfig converts a validated request into the session runner's
 // config. Call Normalize and Validate first.
 func (r SessionRequest) ToConfig() (session.Config, error) {
@@ -394,6 +449,15 @@ func (r SweepRequest) Key() string {
 	sum := sha256.Sum256([]byte(r.Canonical()))
 	return hex.EncodeToString(sum[:])
 }
+
+// CacheKey returns the endpoint-qualified result-cache key (see
+// SessionRequest.CacheKey). A sweep routes as one unit: its cells share
+// the owning node's session cache, so overlapping sweeps still coalesce
+// cell by cell there.
+func (r SweepRequest) CacheKey() string { return "v1/sweep:" + r.Key() }
+
+// ExpCacheKey returns the result-cache key of GET /v1/exp/{id}.
+func ExpCacheKey(id string) string { return "v1/exp:" + id }
 
 // maxBodyBytes bounds a decoded request body.
 const maxBodyBytes = 1 << 20

@@ -7,21 +7,56 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
+)
+
+// Default retry posture: a saturated blkd answers 429 with a
+// Retry-After it chose deliberately (backpressure, not failure), so the
+// typed client waits it out a bounded number of times before surfacing
+// the rejection.
+const (
+	// DefaultRetries is how many 429 rejections a request absorbs before
+	// the error surfaces.
+	DefaultRetries = 3
+	// DefaultMaxBackoff caps one wait, whatever Retry-After advertises.
+	DefaultMaxBackoff = 5 * time.Second
+	// fallbackRetryAfter is used when a 429 carries no parseable
+	// Retry-After header.
+	fallbackRetryAfter = time.Second
 )
 
 // Client is the typed HTTP client for a blkd instance. The zero HTTP
 // client (http.DefaultClient) is used unless overridden with
 // WithHTTPClient; all methods honor ctx for cancellation and deadlines.
+//
+// On 429 the client honors Retry-After with a capped, deterministic
+// backoff — it sleeps exactly the advertised duration (capped at the
+// configured maximum) and retries, up to the configured attempt budget
+// — instead of surfacing the rejection on first sight. The waits are a
+// pure function of the server's responses; the clock only enters
+// through the injected sleep, so tests pin the backoff schedule without
+// real time passing. WithRetry(0, ...) restores fail-fast behavior.
 type Client struct {
-	base string
-	hc   *http.Client
+	base       string
+	hc         *http.Client
+	retries    int
+	maxBackoff time.Duration
+	sleep      func(time.Duration)
 }
 
 // NewClient returns a client for the service rooted at base, e.g.
-// "http://127.0.0.1:8080".
+// "http://127.0.0.1:8080", with the default retry posture
+// (DefaultRetries × Retry-After capped at DefaultMaxBackoff).
 func NewClient(base string) *Client {
-	return &Client{base: strings.TrimSuffix(base, "/"), hc: http.DefaultClient}
+	return &Client{
+		base:       strings.TrimSuffix(base, "/"),
+		hc:         http.DefaultClient,
+		retries:    DefaultRetries,
+		maxBackoff: DefaultMaxBackoff,
+		sleep:      time.Sleep,
+	}
 }
 
 // WithHTTPClient swaps the underlying HTTP client (timeouts, transport
@@ -31,21 +66,75 @@ func (c *Client) WithHTTPClient(hc *http.Client) *Client {
 	return c
 }
 
+// WithRetry tunes the 429 retry budget: at most retries re-issues, each
+// preceded by a sleep of min(Retry-After, maxBackoff) through sleep
+// (nil keeps time.Sleep — tests inject a recorder instead). retries <=
+// 0 disables retrying entirely.
+func (c *Client) WithRetry(retries int, maxBackoff time.Duration, sleep func(time.Duration)) *Client {
+	if retries < 0 {
+		retries = 0
+	}
+	c.retries = retries
+	if maxBackoff > 0 {
+		c.maxBackoff = maxBackoff
+	}
+	if sleep != nil {
+		c.sleep = sleep
+	}
+	return c
+}
+
+// retryAfter extracts the advertised wait from a 429, falling back to
+// fallbackRetryAfter and capping at the client's maximum.
+func (c *Client) retryAfter(resp *http.Response) time.Duration {
+	wait := fallbackRetryAfter
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		wait = time.Duration(secs) * time.Second
+	}
+	if wait > c.maxBackoff {
+		wait = c.maxBackoff
+	}
+	return wait
+}
+
+// send issues method path with body, absorbing up to the retry budget
+// of 429 rejections. The caller owns the returned response body.
+func (c *Client) send(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= c.retries {
+			return resp, nil
+		}
+		// Rejected for saturation with retries left: drain the rejection
+		// and wait the advertised backoff.
+		wait := c.retryAfter(resp)
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		_ = resp.Body.Close()
+		c.sleep(wait)
+	}
+}
+
 // do issues one request and decodes the response body into out (unless
 // out is nil), translating non-2xx responses into *Error.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) (CacheStatus, error) {
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
-	if err != nil {
-		return "", err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.send(ctx, method, path, body)
 	if err != nil {
 		return "", err
 	}
@@ -118,12 +207,7 @@ func (c *Client) FleetStream(ctx context.Context, req FleetRequest, onProgress f
 	if err != nil {
 		return FleetResponse{}, err
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/fleet", bytes.NewReader(body))
-	if err != nil {
-		return FleetResponse{}, err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(httpReq)
+	resp, err := c.send(ctx, http.MethodPost, "/v1/fleet", body)
 	if err != nil {
 		return FleetResponse{}, err
 	}
@@ -180,6 +264,39 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var out Stats
 	_, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
 	return out, err
+}
+
+// ClusterStats fetches the aggregate counters of a routing blkd.
+func (c *Client) ClusterStats(ctx context.Context) (ClusterStats, error) {
+	var out ClusterStats
+	_, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// NodeHealth fetches one node's health/load document (GET /v1/health).
+func (c *Client) NodeHealth(ctx context.Context) (Health, error) {
+	var out Health
+	_, err := c.do(ctx, http.MethodGet, "/v1/health", nil, &out)
+	return out, err
+}
+
+// Snapshot fetches the node's cache snapshot (GET /v1/snapshot), the
+// warm-restart export a fresh node imports via blkd -warm.
+func (c *Client) Snapshot(ctx context.Context) ([]byte, error) {
+	resp, err := c.send(ctx, http.MethodGet, "/v1/snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	// Close failures after a full read carry no information we can act on.
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, Errf(resp.StatusCode, "http_error", "GET /v1/snapshot: status %d", resp.StatusCode)
+	}
+	return data, nil
 }
 
 // Health probes /healthz.

@@ -304,6 +304,12 @@ func (r FleetRequest) Key() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// CacheKey returns the endpoint-qualified result-cache key (see
+// SessionRequest.CacheKey). Canonical excludes Stream, so a streamed
+// fleet run routes to the same owner as its plain twin and warms the
+// same node's segment cache.
+func (r FleetRequest) CacheKey() string { return "v1/fleet:" + r.Key() }
+
 // DecodeFleetRequest strictly decodes, normalizes, and validates a fleet
 // request under the same error contract as DecodeSessionRequest.
 func DecodeFleetRequest(r io.Reader) (FleetRequest, error) {

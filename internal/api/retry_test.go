@@ -1,0 +1,110 @@
+package api
+
+// Satellite of the cluster PR: the typed client's 429 posture. A
+// saturated blkd rejects with Retry-After as deliberate backpressure;
+// the client must wait exactly the advertised (capped) duration and
+// retry within its budget, with the waits observable through the
+// injected sleep rather than real time.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// rejectingHandler answers 429 with the given Retry-After for the first
+// rejections requests, then succeeds.
+func rejectingHandler(rejections *atomic.Int64, retryAfter string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if rejections.Add(-1) >= 0 {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":{"code":"saturated","message":"queue full"}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"experiments":[]}`))
+	})
+}
+
+func TestClientRetriesHonorRetryAfter(t *testing.T) {
+	var rejections atomic.Int64
+	rejections.Store(2)
+	ts := httptest.NewServer(rejectingHandler(&rejections, "2"))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := NewClient(ts.URL).WithRetry(3, 5*time.Second, func(d time.Duration) { slept = append(slept, d) })
+	if _, err := c.Experiments(t.Context()); err != nil {
+		t.Fatalf("request failed despite retry budget: %v", err)
+	}
+	if len(slept) != 2 || slept[0] != 2*time.Second || slept[1] != 2*time.Second {
+		t.Errorf("backoff schedule = %v, want [2s 2s] (the advertised Retry-After, twice)", slept)
+	}
+}
+
+func TestClientCapsRetryAfter(t *testing.T) {
+	var rejections atomic.Int64
+	rejections.Store(1)
+	ts := httptest.NewServer(rejectingHandler(&rejections, "3600"))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := NewClient(ts.URL).WithRetry(1, 250*time.Millisecond, func(d time.Duration) { slept = append(slept, d) })
+	if _, err := c.Experiments(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != 250*time.Millisecond {
+		t.Errorf("backoff schedule = %v, want the 250ms cap, not the advertised hour", slept)
+	}
+}
+
+func TestClientFallbackWhenRetryAfterMissing(t *testing.T) {
+	var rejections atomic.Int64
+	rejections.Store(1)
+	ts := httptest.NewServer(rejectingHandler(&rejections, ""))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := NewClient(ts.URL).WithRetry(1, 5*time.Second, func(d time.Duration) { slept = append(slept, d) })
+	if _, err := c.Experiments(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != time.Second {
+		t.Errorf("backoff schedule = %v, want the 1s fallback", slept)
+	}
+}
+
+func TestClientSurfacesRejectionPastBudget(t *testing.T) {
+	var rejections atomic.Int64
+	rejections.Store(100)
+	ts := httptest.NewServer(rejectingHandler(&rejections, "1"))
+	defer ts.Close()
+
+	var sleeps int
+	c := NewClient(ts.URL).WithRetry(3, 5*time.Second, func(time.Duration) { sleeps++ })
+	_, err := c.Experiments(t.Context())
+	aerr, ok := err.(*Error)
+	if !ok || aerr.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want a 429 *Error after the budget", err)
+	}
+	if sleeps != 3 {
+		t.Errorf("slept %d times, want exactly the 3-retry budget", sleeps)
+	}
+}
+
+func TestClientRetryDisabled(t *testing.T) {
+	var rejections atomic.Int64
+	rejections.Store(1)
+	ts := httptest.NewServer(rejectingHandler(&rejections, "1"))
+	defer ts.Close()
+
+	c := NewClient(ts.URL).WithRetry(0, 0, func(time.Duration) { t.Error("fail-fast client slept") })
+	if _, err := c.Experiments(t.Context()); err == nil {
+		t.Fatal("retry-disabled client absorbed the 429")
+	}
+}

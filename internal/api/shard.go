@@ -1,0 +1,127 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+)
+
+// Owner picks which backend owns a canonical result-cache key: given
+// the exact CacheKey string the server would file a request under, it
+// returns an index into the backend list. internal/cluster's
+// consistent-hash Ring implements it; the indirection keeps this
+// package free of a dependency on the ring (cluster already depends on
+// api for the wire types).
+type Owner interface {
+	OwnerIndex(key string) int
+}
+
+// ShardedClient is the typed client's client-side sharding form: one
+// Client per backend node plus an Owner that maps each request's
+// canonical cache key to the node owning it. Every request goes
+// straight to its owner — no router hop — so each scenario's cache
+// entry (result body and delta segments) concentrates on exactly one
+// node and hit ratios survive scale-out.
+//
+// The backend order must match the Owner's index space; build both from
+// one membership list (cluster.NewShardedClient does).
+type ShardedClient struct {
+	owner   Owner
+	clients []*Client
+}
+
+// NewShardedClient builds a sharded client over clients, indexed by
+// owner. The clients slice is aliased, not copied.
+func NewShardedClient(owner Owner, clients []*Client) (*ShardedClient, error) {
+	if owner == nil {
+		return nil, fmt.Errorf("api: sharded client needs an owner")
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("api: sharded client needs at least one backend")
+	}
+	return &ShardedClient{owner: owner, clients: clients}, nil
+}
+
+// pick resolves the owning client for a canonical cache key, clamping a
+// misbehaving Owner into range rather than panicking mid-load.
+func (s *ShardedClient) pick(key string) *Client {
+	i := s.owner.OwnerIndex(key)
+	if i < 0 || i >= len(s.clients) {
+		i = 0
+	}
+	return s.clients[i]
+}
+
+// Len returns the backend count.
+func (s *ShardedClient) Len() int { return len(s.clients) }
+
+// Node returns the i-th backend client (Owner index space).
+func (s *ShardedClient) Node(i int) *Client { return s.clients[i] }
+
+// Session routes one session request to its owning node.
+func (s *ShardedClient) Session(ctx context.Context, req SessionRequest) (SessionResponse, CacheStatus, error) {
+	req.Normalize()
+	return s.pick(req.CacheKey()).Session(ctx, req)
+}
+
+// Sweep routes a sweep to the node owning its sweep key. The sweep
+// executes wholly on that node, whose session cache its cells share.
+func (s *ShardedClient) Sweep(ctx context.Context, req SweepRequest) (SweepResponse, CacheStatus, error) {
+	req.Normalize()
+	return s.pick(req.CacheKey()).Sweep(ctx, req)
+}
+
+// Fleet routes a population run to the node owning its canonical key.
+func (s *ShardedClient) Fleet(ctx context.Context, req FleetRequest) (FleetResponse, CacheStatus, error) {
+	req.Normalize()
+	return s.pick(req.CacheKey()).Fleet(ctx, req)
+}
+
+// FleetStream routes a streamed population run to its owning node
+// (Stream is excluded from the canonical key, so it lands on the same
+// node as the plain form and warms the same segment cache).
+func (s *ShardedClient) FleetStream(ctx context.Context, req FleetRequest, onProgress func(FleetProgress)) (FleetResponse, error) {
+	req.Normalize()
+	return s.pick(req.CacheKey()).FleetStream(ctx, req, onProgress)
+}
+
+// Experiment routes one experiment fetch to the node owning its key.
+func (s *ShardedClient) Experiment(ctx context.Context, id string) (json.RawMessage, error) {
+	return s.pick(ExpCacheKey(id)).Experiment(ctx, id)
+}
+
+// StatsAll fetches every node's counters, in Owner index order.
+func (s *ShardedClient) StatsAll(ctx context.Context) ([]Stats, error) {
+	out := make([]Stats, len(s.clients))
+	for i, c := range s.clients {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("api: stats from node %d: %w", i, err)
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// HealthAll probes every node's /v1/health, in Owner index order.
+func (s *ShardedClient) HealthAll(ctx context.Context) ([]Health, error) {
+	out := make([]Health, len(s.clients))
+	for i, c := range s.clients {
+		h, err := c.NodeHealth(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("api: health from node %d: %w", i, err)
+		}
+		out[i] = h
+	}
+	return out, nil
+}
+
+// Health probes every node's /healthz; the first failure surfaces.
+func (s *ShardedClient) Health(ctx context.Context) error {
+	for i, c := range s.clients {
+		if err := c.Health(ctx); err != nil {
+			return fmt.Errorf("api: node %d unhealthy: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -87,6 +87,12 @@ func (c *LRUOf[V]) Put(key string, val V) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(key, val)
+}
+
+// putLocked is Put's body under an already-held lock. The cache retains
+// val by reference; callers own the aliasing contract (§4.11).
+func (c *LRUOf[V]) putLocked(key string, val V) {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*entryOf[V]).val = val
 		c.order.MoveToFront(el)
@@ -99,6 +105,46 @@ func (c *LRUOf[V]) Put(key string, val V) {
 		c.evictions++
 	}
 	c.items[key] = c.order.PushFront(&entryOf[V]{key: key, val: val})
+}
+
+// EntryOf is one key/value pair of a cache snapshot (see Dump/Load).
+type EntryOf[V any] struct {
+	Key string
+	Val V
+}
+
+// Dump returns the cache's entries ordered least → most recently used,
+// so replaying them through Load (or Put) on a fresh cache reproduces
+// both the contents and the eviction order exactly. Values are aliased,
+// not copied — the cache's usual read-only contract applies.
+func (c *LRUOf[V]) Dump() []EntryOf[V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EntryOf[V], 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entryOf[V])
+		out = append(out, EntryOf[V]{Key: e.key, Val: e.val})
+	}
+	return out
+}
+
+// Load replays dumped entries into the cache in order (least recently
+// used first), restoring contents and recency without touching the
+// hit/miss counters — a warmed cache then behaves byte-identically to
+// the cache that produced the dump. Entries beyond capacity evict in
+// the usual LRU order. The whole replay installs under one lock
+// acquisition, and the cache takes ownership of the entry values:
+// callers hand over freshly decoded (snapshot) memory, never buffers
+// they keep writing to.
+func (c *LRUOf[V]) Load(entries []EntryOf[V]) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range entries {
+		c.putLocked(e.Key, e.Val)
+	}
 }
 
 // Len returns the current entry count.

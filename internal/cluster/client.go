@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"strings"
+
+	"burstlink/internal/api"
+)
+
+// NewShardedClient builds the client-side sharding stack over the given
+// backend base URLs: one consistent-hash ring and one typed api.Client
+// per member, with the client list in ring index order so the ring's
+// OwnerIndex values address the right backends. This is what `blkload
+// -cluster url1,url2` runs — requests go straight to their owning node
+// with no router hop.
+//
+// vnodes <= 0 selects DefaultVNodes. The returned Ring is the same
+// membership view the sharded client routes by; callers use it to
+// report per-node ownership skew.
+func NewShardedClient(urls []string, vnodes int) (*api.ShardedClient, *Ring, error) {
+	ring, err := NewRing(urls, vnodes)
+	if err != nil {
+		return nil, nil, err
+	}
+	clients := make([]*api.Client, ring.Len())
+	for i, u := range ring.Nodes() {
+		clients[i] = api.NewClient(u)
+	}
+	sc, err := api.NewShardedClient(ring, clients)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sc, ring, nil
+}
+
+// SplitMembers parses a comma-separated membership list ("url1,url2"),
+// trimming whitespace and dropping empty items — the shared flag syntax
+// of `blkd -route` and `blkload -cluster`.
+func SplitMembers(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

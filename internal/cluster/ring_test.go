@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys enumerates n deterministic canonical-looking keys.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("v1/session:key-%04d", i)
+	}
+	return keys
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Fatal("NewRing accepted an empty membership")
+	}
+	if _, err := NewRing([]string{"a", ""}, 64); err == nil {
+		t.Fatal("NewRing accepted an empty member name")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 64); err == nil {
+		t.Fatal("NewRing accepted a duplicate member")
+	}
+}
+
+func TestRingDeterministicAcrossInputOrder(t *testing.T) {
+	a, err := NewRing([]string{"n1", "n2", "n3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3", "n1", "n2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(1000) {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner of %q depends on membership input order: %q vs %q",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingBalance pins the load-spreading property that justifies
+// virtual nodes: across 1000 keys on a 4-node ring with 64 vnodes,
+// every node owns its even share within ±20%.
+func TestRingBalance(t *testing.T) {
+	members := []string{"n1", "n2", "n3", "n4"}
+	ring, err := NewRing(members, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	keys := testKeys(1000)
+	for _, key := range keys {
+		counts[ring.Owner(key)]++
+	}
+	even := float64(len(keys)) / float64(len(members))
+	for _, m := range members {
+		share := float64(counts[m]) / even
+		if share < 0.8 || share > 1.2 {
+			t.Errorf("node %s owns %d of %d keys (%.2fx the even share, want within ±20%%)",
+				m, counts[m], len(keys), share)
+		}
+	}
+}
+
+// TestRingMinimalMovement pins the consistent-hashing contract: adding
+// or removing one node only moves the keys that node gains or loses —
+// every key whose owner survives the change keeps that owner.
+func TestRingMinimalMovement(t *testing.T) {
+	base, err := NewRing([]string{"n1", "n2", "n3"}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(1000)
+
+	grown, err := base.WithNode("n4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, key := range keys {
+		before, after := base.Owner(key), grown.Owner(key)
+		if before == after {
+			continue
+		}
+		if after != "n4" {
+			t.Fatalf("adding n4 moved %q from %q to %q — only moves onto the new node are allowed",
+				key, before, after)
+		}
+		moved++
+	}
+	// The new node should take roughly its 1/4 share — certainly not
+	// most of the keyspace and not nothing.
+	if moved == 0 || moved > len(keys)/2 {
+		t.Errorf("adding a 4th node moved %d of %d keys, want roughly %d", moved, len(keys), len(keys)/4)
+	}
+
+	shrunk, err := base.WithoutNode("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range keys {
+		before, after := base.Owner(key), shrunk.Owner(key)
+		if before != "n2" && before != after {
+			t.Fatalf("removing n2 moved %q from %q to %q — only n2's keys may move",
+				key, before, after)
+		}
+		if before == "n2" && after == "n2" {
+			t.Fatalf("removing n2 left %q owned by it", key)
+		}
+	}
+}
+
+func TestRingMembershipHelpers(t *testing.T) {
+	ring, err := NewRing([]string{"n2", "n1"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ring.Nodes(); len(got) != 2 || got[0] != "n1" || got[1] != "n2" {
+		t.Fatalf("Nodes() = %v, want sorted [n1 n2]", got)
+	}
+	if _, err := ring.WithNode("n1"); err == nil {
+		t.Fatal("WithNode accepted an existing member")
+	}
+	if _, err := ring.WithoutNode("nX"); err == nil {
+		t.Fatal("WithoutNode accepted an unknown member")
+	}
+	if _, err := ring.WithoutNode("n1"); err != nil {
+		t.Fatalf("WithoutNode(n1) on a 2-node ring: %v", err)
+	}
+	one, err := ring.WithoutNode("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(10) {
+		if one.Owner(key) != "n1" {
+			t.Fatalf("single-node ring routed %q to %q", key, one.Owner(key))
+		}
+	}
+}
+
+func TestOwnerIndexMatchesOwner(t *testing.T) {
+	ring, err := NewRing([]string{"n1", "n2", "n3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(200) {
+		if got := ring.Nodes()[ring.OwnerIndex(key)]; got != ring.Owner(key) {
+			t.Fatalf("OwnerIndex and Owner disagree for %q: %q vs %q", key, got, ring.Owner(key))
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"burstlink/internal/api"
+)
+
+// NodeHeader is the response header a router adds naming the backend
+// that computed (or cached) the response — the observable form of the
+// ring's ownership decision, which the cluster tests and the check.sh
+// smoke assert on.
+const NodeHeader = "X-Cluster-Node"
+
+// RouterConfig tunes a Router.
+type RouterConfig struct {
+	// Node names the router itself in its /v1/stats and /v1/health
+	// documents (default "router").
+	Node string
+	// Backends are the member blkd base URLs (e.g.
+	// "http://10.0.0.1:8080"). At least one is required.
+	Backends []string
+	// VNodes is the virtual-node count per backend (default
+	// DefaultVNodes).
+	VNodes int
+	// Client issues the forwarded requests (default
+	// http.DefaultClient).
+	Client *http.Client
+}
+
+// Router is the thin routing front of a blkd fleet (`blkd -route
+// node1,node2,...`): it decodes each request exactly as a backend
+// would, canonicalizes it to its result-cache key, and forwards it to
+// the ring owner of that key. Because the key — not the request bytes —
+// picks the node, two spellings of the same scenario land on the same
+// backend and hit the same cache entry, which is what keeps the fleet's
+// aggregate hit ratio at single-node levels.
+//
+// The router holds no cache of its own and mutates nothing: every
+// response body is the owning backend's bytes verbatim (plus the
+// NodeHeader attribution), so the single-node wire-determinism
+// guarantee survives the extra hop byte for byte.
+type Router struct {
+	node string
+	ring *Ring
+	hc   *http.Client
+	mux  *http.ServeMux
+
+	requests  atomic.Uint64
+	forwarded []atomic.Uint64 // per ring-node index
+}
+
+// NewRouter builds a router over the given backends.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	ring, err := NewRing(cfg.Backends, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Node == "" {
+		cfg.Node = "router"
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	rt := &Router{
+		node:      cfg.Node,
+		ring:      ring,
+		hc:        cfg.Client,
+		mux:       http.NewServeMux(),
+		forwarded: make([]atomic.Uint64, ring.Len()),
+	}
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /v1/health", rt.handleHealth)
+	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("POST /v1/session", rt.handleSession)
+	rt.mux.HandleFunc("POST /v1/sweep", rt.handleSweep)
+	rt.mux.HandleFunc("POST /v1/fleet", rt.handleFleet)
+	rt.mux.HandleFunc("GET /v1/exp", rt.handleExpList)
+	rt.mux.HandleFunc("GET /v1/exp/{id}", rt.handleExp)
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler tree.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Ring returns the router's membership ring.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// forward sends method path with body to the ring owner of key and
+// copies the backend's response — status, cache/content headers, body —
+// to w verbatim, adding the owning node under NodeHeader. Streaming
+// responses (NDJSON fleet progress) flush event by event.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key, method, path string, body []byte) {
+	rt.requests.Add(1)
+	owner := rt.ring.OwnerIndex(key)
+	rt.forwarded[owner].Add(1)
+	node := rt.ring.nodes[owner]
+
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), method, node+path, rd)
+	if err != nil {
+		writeRouterError(w, api.Errf(http.StatusInternalServerError, "bad_forward", "%v", err))
+		return
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		writeRouterError(w, api.Errf(http.StatusBadGateway, "backend_unreachable", "node %s: %v", node, err))
+		return
+	}
+	// Close failures after the copy carry no information we can act on.
+	defer func() { _ = resp.Body.Close() }()
+
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if cs := resp.Header.Get(api.CacheHeader); cs != "" {
+		w.Header().Set(api.CacheHeader, cs)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set(NodeHeader, node)
+	w.WriteHeader(resp.StatusCode)
+	copyFlushing(w, resp.Body)
+}
+
+// copyFlushing streams src to w, flushing after every read so NDJSON
+// progress events cross the router hop as they happen instead of
+// arriving in one buffered burst.
+func copyFlushing(w http.ResponseWriter, src io.Reader) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			// A failed write means the client is gone; the backend copy
+			// ends on its own read error.
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// handleSession routes POST /v1/session by the session's canonical key.
+func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
+	req, err := api.DecodeSessionRequest(r.Body)
+	if err != nil {
+		writeRouterAnyError(w, err)
+		return
+	}
+	body, merr := json.Marshal(req)
+	if merr != nil {
+		writeRouterError(w, api.Errf(http.StatusInternalServerError, "encoding_failed", "%v", merr))
+		return
+	}
+	rt.forward(w, r, req.CacheKey(), http.MethodPost, "/v1/session", body)
+}
+
+// handleSweep routes POST /v1/sweep by the sweep's canonical key; the
+// whole sweep executes on one node, whose session cache its cells share.
+func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
+	req, err := api.DecodeSweepRequest(r.Body)
+	if err != nil {
+		writeRouterAnyError(w, err)
+		return
+	}
+	body, merr := json.Marshal(req)
+	if merr != nil {
+		writeRouterError(w, api.Errf(http.StatusInternalServerError, "encoding_failed", "%v", merr))
+		return
+	}
+	rt.forward(w, r, req.CacheKey(), http.MethodPost, "/v1/sweep", body)
+}
+
+// handleFleet routes POST /v1/fleet by the population's canonical key
+// (Stream excluded, so streamed and plain runs share an owner).
+func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
+	req, err := api.DecodeFleetRequest(r.Body)
+	if err != nil {
+		writeRouterAnyError(w, err)
+		return
+	}
+	body, merr := json.Marshal(req)
+	if merr != nil {
+		writeRouterError(w, api.Errf(http.StatusInternalServerError, "encoding_failed", "%v", merr))
+		return
+	}
+	rt.forward(w, r, req.CacheKey(), http.MethodPost, "/v1/fleet", body)
+}
+
+// handleExp routes GET /v1/exp/{id} by the experiment's cache key.
+func (rt *Router) handleExp(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt.forward(w, r, api.ExpCacheKey(id), http.MethodGet, "/v1/exp/"+id, nil)
+}
+
+// handleExpList serves GET /v1/exp from the first ring member — the
+// catalogue is static and identical on every node.
+func (rt *Router) handleExpList(w http.ResponseWriter, r *http.Request) {
+	rt.forward(w, r, api.ExpCacheKey(""), http.MethodGet, "/v1/exp", nil)
+}
+
+// handleStats serves GET /v1/stats: the router's own forwarding
+// counters plus every backend's stats document, in ring order.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := api.ClusterStats{
+		Router:   rt.node,
+		Requests: rt.requests.Load(),
+	}
+	for i, node := range rt.ring.nodes {
+		cs.Forwarded = append(cs.Forwarded, api.NodeCount{Node: node, Requests: rt.forwarded[i].Load()})
+		st, err := rt.fetchStats(r.Context(), node)
+		if err != nil {
+			writeRouterError(w, api.Errf(http.StatusBadGateway, "backend_unreachable", "node %s: %v", node, err))
+			return
+		}
+		cs.Nodes = append(cs.Nodes, st)
+	}
+	writeRouterJSON(w, cs)
+}
+
+// handleHealth serves GET /v1/health: the router is "ok" only when
+// every backend probed ok; unreachable backends are reported, not
+// fatal, so an operator sees the degraded membership.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	ch := api.ClusterHealth{Router: rt.node, Status: "ok"}
+	for _, node := range rt.ring.nodes {
+		h, err := rt.fetchHealth(r.Context(), node)
+		if err != nil {
+			ch.Status = "degraded"
+			h = api.Health{Node: node, Status: "unreachable"}
+		}
+		ch.Nodes = append(ch.Nodes, h)
+	}
+	writeRouterJSON(w, ch)
+}
+
+// handleHealthz serves the router's own liveness probe.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	// A failed write means the prober is gone; there is nothing to do.
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// fetchStats retrieves one backend's stats document.
+func (rt *Router) fetchStats(ctx context.Context, node string) (api.Stats, error) {
+	var st api.Stats
+	err := rt.fetchJSON(ctx, node+"/v1/stats", &st)
+	return st, err
+}
+
+// fetchHealth retrieves one backend's health document.
+func (rt *Router) fetchHealth(ctx context.Context, node string) (api.Health, error) {
+	var h api.Health
+	err := rt.fetchJSON(ctx, node+"/v1/health", &h)
+	return h, err
+}
+
+// fetchJSON GETs url and decodes the JSON body into out.
+func (rt *Router) fetchJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	// Close failures after a full read carry no information we can act on.
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.Unmarshal(data, out)
+}
+
+// writeRouterJSON writes v as a JSON response.
+func writeRouterJSON(w http.ResponseWriter, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeRouterError(w, api.Errf(http.StatusInternalServerError, "encoding_failed", "%v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// A short write means the client disconnected mid-response.
+	_, _ = w.Write(b)
+}
+
+// writeRouterAnyError maps any error onto the structured wire form.
+func writeRouterAnyError(w http.ResponseWriter, err error) {
+	if aerr, ok := err.(*api.Error); ok {
+		writeRouterError(w, aerr)
+		return
+	}
+	writeRouterError(w, api.Errf(http.StatusInternalServerError, "internal", "%v", err))
+}
+
+// writeRouterError writes a structured JSON error body.
+func writeRouterError(w http.ResponseWriter, aerr *api.Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(aerr.Status)
+	// A failed error write means the client is gone; nothing to do.
+	_, _ = w.Write(api.EncodeError(aerr))
+}

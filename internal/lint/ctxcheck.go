@@ -7,7 +7,8 @@ import (
 )
 
 // CtxCheck enforces cancellation discipline in the service-facing
-// packages (internal/server, internal/api, internal/exp): a function
+// packages (internal/server, internal/api, internal/exp,
+// internal/cluster): a function
 // that receives a context.Context must actually honor it. Dropping the
 // ctx on the floor doesn't crash anything — it turns every client
 // timeout into server work that keeps running, which under the blkd
@@ -33,7 +34,7 @@ var CtxCheck = &Analyzer{
 	Name: "ctxcheck",
 	Doc:  "require ctx-receiving service functions to propagate ctx (no Background/TODO to ctx-accepting callees) and observe Done/Err in unbounded loops",
 	Scope: func(pkgPath string) bool {
-		for _, sub := range []string{"internal/server", "internal/api", "internal/exp"} {
+		for _, sub := range []string{"internal/server", "internal/api", "internal/exp", "internal/cluster"} {
 			if strings.HasSuffix(pkgPath, sub) || strings.Contains(pkgPath, sub+"/") {
 				return true
 			}

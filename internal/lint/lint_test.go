@@ -321,6 +321,11 @@ func TestScopes(t *testing.T) {
 		{CtxCheck, "burstlink/internal/server", true},
 		{CtxCheck, "burstlink/internal/api", true},
 		{CtxCheck, "burstlink/internal/exp", true},
+		// internal/cluster is ctx-scoped like the rest of the service
+		// surface, but NOT parcheck-allowlisted: the router is a pure
+		// http.Handler with no goroutines of its own.
+		{CtxCheck, "burstlink/internal/cluster", true},
+		{ParCheck, "burstlink/internal/cluster", true},
 		{CtxCheck, "burstlink/internal/exp/ctxfix", true},
 		{CtxCheck, "burstlink/internal/codec", false},
 		{CtxCheck, "burstlink/cmd/burstlink", false},

@@ -217,6 +217,29 @@ func (c *Cache) Stats() Stats {
 	}
 }
 
+// Dump returns the segment cache's entries, least → most recently used,
+// for snapshot export (internal/cluster). Values are aliased with the
+// cache; the segment read-only contract applies. A nil or disabled
+// cache dumps nothing.
+func (c *Cache) Dump() []cache.EntryOf[any] {
+	if !c.Enabled() {
+		return nil
+	}
+	return c.lru.Dump()
+}
+
+// Load replays dumped segment entries into the cache (least recently
+// used first), restoring contents and recency. Counters are untouched:
+// a warmed cache's subsequent hit/miss behavior is identical to the
+// cache that produced the dump. A nil or disabled cache ignores the
+// load.
+func (c *Cache) Load(entries []cache.EntryOf[any]) {
+	if !c.Enabled() {
+		return
+	}
+	c.lru.Load(entries)
+}
+
 // do returns compute's value for key: cache first, then attach to or
 // lead the in-flight computation of the same key, then compute. Errors
 // are never cached — a failing segment recomputes on the next request.

@@ -23,10 +23,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
@@ -36,6 +38,7 @@ import (
 
 	"burstlink/internal/api"
 	"burstlink/internal/cache"
+	"burstlink/internal/cluster"
 	"burstlink/internal/exp"
 	"burstlink/internal/fleet"
 	"burstlink/internal/memo"
@@ -51,6 +54,10 @@ import (
 type Config struct {
 	// Addr is the listen address for ListenAndServe (default ":8080").
 	Addr string
+	// NodeID names this instance in /v1/stats and /v1/health — the
+	// identity cluster tooling attributes per-node counters to
+	// (default "blkd").
+	NodeID string
 	// MaxConcurrent bounds simultaneously executing model runs
 	// (default 2×GOMAXPROCS).
 	MaxConcurrent int
@@ -84,6 +91,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Addr == "" {
 		c.Addr = ":8080"
+	}
+	if c.NodeID == "" {
+		c.NodeID = "blkd"
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
@@ -154,7 +164,9 @@ func New(cfg Config) *Server {
 		mux:    http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /v1/session", s.admit(s.handleSession))
 	s.mux.HandleFunc("POST /v1/sweep", s.admit(s.handleSweep))
 	s.mux.HandleFunc("POST /v1/fleet", s.admit(s.handleFleet))
@@ -279,7 +291,7 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		writeAnyError(w, err)
 		return
 	}
-	body, status, aerr := s.execute(r.Context(), "v1/session:"+req.Key(), func() ([]byte, *api.Error) {
+	body, status, aerr := s.execute(r.Context(), req.CacheKey(), func() ([]byte, *api.Error) {
 		return s.runSession(r.Context(), req)
 	})
 	writeResult(w, body, status, aerr)
@@ -295,7 +307,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeAnyError(w, err)
 		return
 	}
-	sweepKey := "v1/sweep:" + req.Key()
+	sweepKey := req.CacheKey()
 	body, status, aerr := s.execute(r.Context(), sweepKey, func() ([]byte, *api.Error) {
 		cells := req.Expand()
 		type cellResult struct {
@@ -305,7 +317,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		results := par.Map(len(cells), func(i int) cellResult {
 			cell := cells[i]
 			cell.Normalize()
-			body, _, aerr := s.execute(r.Context(), "v1/session:"+cell.Key(), func() ([]byte, *api.Error) {
+			body, _, aerr := s.execute(r.Context(), cell.CacheKey(), func() ([]byte, *api.Error) {
 				return s.runSession(r.Context(), cell)
 			})
 			return cellResult{body, aerr}
@@ -381,7 +393,7 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		s.streamFleet(w, r, req)
 		return
 	}
-	body, status, aerr := s.execute(r.Context(), "v1/fleet:"+req.Key(), func() ([]byte, *api.Error) {
+	body, status, aerr := s.execute(r.Context(), req.CacheKey(), func() ([]byte, *api.Error) {
 		return s.runFleet(r.Context(), req, nil)
 	})
 	writeResult(w, body, status, aerr)
@@ -436,7 +448,7 @@ func (s *Server) handleExp(w http.ResponseWriter, r *http.Request) {
 		writeError(w, api.Errf(http.StatusNotFound, "unknown_experiment", "%v", err))
 		return
 	}
-	body, status, aerr := s.execute(r.Context(), "v1/exp:"+id, func() ([]byte, *api.Error) {
+	body, status, aerr := s.execute(r.Context(), api.ExpCacheKey(id), func() ([]byte, *api.Error) {
 		tab, err := e.Run()
 		if err != nil {
 			return nil, api.Errf(http.StatusInternalServerError, "experiment_failed", "%s: %v", id, err)
@@ -469,24 +481,98 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, body, "", aerr)
 }
 
+// handleHealth serves GET /v1/health: the node's identity plus the
+// instantaneous occupancy a router or balancer steers on.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	body, aerr := marshalBody(s.NodeHealth())
+	writeResult(w, body, "", aerr)
+}
+
+// NodeHealth snapshots the node's identity and instantaneous load.
+func (s *Server) NodeHealth() api.Health {
+	cs := s.cache.Stats()
+	ms := s.eng.Memo.Stats()
+	h := api.Health{
+		Node:           s.cfg.NodeID,
+		Status:         "ok",
+		InFlight:       int(s.inFlight.Load()),
+		Queued:         int(s.queued.Load()),
+		CacheEntries:   cs.Entries,
+		SegmentEntries: ms.Entries,
+	}
+	if cs.Capacity > 0 {
+		h.CacheFill = float64(cs.Entries) / float64(cs.Capacity)
+	}
+	if ms.Capacity > 0 {
+		h.SegmentFill = float64(ms.Entries) / float64(ms.Capacity)
+	}
+	return h
+}
+
+// handleSnapshot serves GET /v1/snapshot: the node's result and segment
+// caches as a warm-restart export (see internal/cluster.Snapshot and
+// blkd -warm).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		writeError(w, api.Errf(http.StatusInternalServerError, "snapshot_failed", "%v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// A short write means the client disconnected mid-download.
+	_, _ = w.Write(buf.Bytes())
+}
+
+// WriteSnapshot exports the node's cache state to w: result cache and
+// segment cache, both in recency order, so an import reproduces hit and
+// eviction behavior exactly.
+func (s *Server) WriteSnapshot(w io.Writer) error {
+	snap := cluster.Snapshot{
+		Node:     s.cfg.NodeID,
+		Results:  s.cache.Dump(),
+		Segments: s.eng.Memo.Dump(),
+	}
+	return snap.Encode(w)
+}
+
+// Warm imports a snapshot previously exported by WriteSnapshot (on this
+// node or any other — determinism makes cached values node-portable),
+// replaying it into the result and segment caches. It returns the
+// imported snapshot's metadata. Counters are untouched: a warmed node's
+// subsequent hit/miss accounting is identical to the exporting node's.
+func (s *Server) Warm(r io.Reader) (*cluster.Snapshot, error) {
+	snap, err := cluster.DecodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Load(snap.Results)
+	s.eng.Memo.Load(snap.Segments)
+	return snap, nil
+}
+
 // Stats snapshots the service counters, including the delta-simulation
 // segment cache that sits under the result cache.
 func (s *Server) Stats() api.Stats {
 	cs := s.cache.Stats()
 	ms := s.eng.Memo.Stats()
 	st := api.Stats{
+		Node:             s.cfg.NodeID,
 		Requests:         s.requests.Load(),
 		Rejected:         s.rejected.Load(),
 		CacheHits:        s.hits.Load(),
 		CacheMisses:      s.misses.Load(),
 		Coalesced:        s.coalesced.Load(),
 		CacheEntries:     cs.Entries,
+		CacheCapacity:    cs.Capacity,
+		InFlight:         int(s.inFlight.Load()),
+		Queued:           int(s.queued.Load()),
 		MaxInFlight:      int(s.peak.Load()),
 		SegmentHits:      ms.Hits,
 		SegmentMisses:    ms.Misses,
 		SegmentEvictions: ms.Evictions,
 		SegmentCoalesced: ms.Coalesced,
 		SegmentEntries:   ms.Entries,
+		SegmentCapacity:  ms.Capacity,
 	}
 	if total := st.CacheHits + st.CacheMisses + st.Coalesced; total > 0 {
 		st.HitRatio = float64(st.CacheHits+st.Coalesced) / float64(total)
@@ -569,7 +655,16 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 // ServeListener serves on l until ctx is canceled, then drains. The
 // listener is owned (and closed) by the server from this point on.
 func (s *Server) ServeListener(ctx context.Context, l net.Listener) error {
-	httpSrv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	return ServeHandler(ctx, l, s.Handler(), s.cfg.DrainTimeout)
+}
+
+// ServeHandler serves h on l until ctx is canceled, then drains
+// gracefully: the listener closes, in-flight requests get up to drain to
+// finish, and only then does the call return. It is the shared process
+// lifecycle of every blkd-shaped daemon — the compute node (Server) and
+// the cluster router (internal/cluster.Router) both run on it.
+func ServeHandler(ctx context.Context, l net.Listener, h http.Handler, drain time.Duration) error {
+	httpSrv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(l) }()
 	select {
@@ -580,7 +675,7 @@ func (s *Server) ServeListener(ctx context.Context, l net.Listener) error {
 		// from it would make Shutdown return immediately instead of
 		// granting the grace period.
 		//lint:ignore ctxcheck drain deadline must outlive the canceled serve ctx
-		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(dctx); err != nil {
 			return fmt.Errorf("server: drain: %w", err)
@@ -594,9 +689,16 @@ func (s *Server) ServeListener(ctx context.Context, l net.Listener) error {
 // triggers the graceful drain and waits for it — the in-process form the
 // bench harness and examples use.
 func (s *Server) Start(l net.Listener) (stop func() error) {
+	return StartHandler(l, s.Handler(), s.cfg.DrainTimeout)
+}
+
+// StartHandler is ServeHandler in the background: it serves h on l and
+// returns a stop function that triggers the graceful drain and waits
+// for it.
+func StartHandler(l net.Listener, h http.Handler, drain time.Duration) (stop func() error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- s.ServeListener(ctx, l) }()
+	go func() { done <- ServeHandler(ctx, l, h, drain) }()
 	return func() error {
 		cancel()
 		return <-done
