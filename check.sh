@@ -27,6 +27,18 @@ if [ -n "$fmt" ]; then
     exit 1
 fi
 
+# The fact cache is keyed on package contents and the analyzer set, but
+# a change to blklint's own implementation (same analyzer names and
+# docs, different behavior) is invisible to those keys. Hash the tool's
+# sources and drop the cache whenever they change, so a stale cache can
+# never mask a finding a newer analyzer would report.
+toolhash=$(find internal/lint cmd/blklint -name '*.go' -not -path '*/testdata/*' -print | LC_ALL=C sort \
+    | xargs cat | git hash-object --stdin)
+if [ -d .blklint-cache ] && [ "$(cat .blklint-cache/.toolhash 2>/dev/null)" != "$toolhash" ]; then
+    echo "== blklint sources changed; dropping .blklint-cache"
+    rm -rf .blklint-cache
+fi
+
 # Locally, lint only what changed since the merge base with origin/main
 # (fast inner loop); CI always runs the full module so nothing hides
 # behind an old ref. If origin/main is absent entirely (fresh clone with
@@ -49,6 +61,22 @@ else
     go run ./cmd/blklint ./...
 fi
 
+# Warm-cache smoke: prime the fact cache, then re-run and require that
+# the second pass actually served packages from it. This is the one
+# place the incremental path is exercised end-to-end on every check, so
+# a cache that silently stopped warming fails here, not in a slow CI.
+echo "== blklint fact cache smoke"
+go run ./cmd/blklint -cache ./...
+mkdir -p .blklint-cache
+printf '%s\n' "$toolhash" > .blklint-cache/.toolhash
+cached=$(go run ./cmd/blklint -cache ./... 2>&1 >/dev/null \
+    | sed -n 's/^blklint: fact cache: \([0-9]*\)\/.*$/\1/p')
+if [ -z "$cached" ] || [ "$cached" -eq 0 ]; then
+    echo "blklint fact cache: warm run served ${cached:-no} packages from cache; cache is not warming" >&2
+    exit 1
+fi
+echo "warm run served $cached packages from cache"
+
 # Suppression budget: every //lint:ignore is a debt with a written
 # reason; the count may only change deliberately, with this number.
 echo "== lint suppression budget"
@@ -67,6 +95,7 @@ go test -run='^$' -fuzz=FuzzResolutionFrameSize -fuzztime=5s ./internal/units
 go test -run='^$' -fuzz=FuzzAPIDecodeRequest -fuzztime=5s ./internal/api
 go test -run='^$' -fuzz=FuzzSegmentKey -fuzztime=5s ./internal/memo
 go test -run='^$' -fuzz=FuzzDeviceKey -fuzztime=5s ./internal/fleet
+go test -run='^$' -fuzz=FuzzRingOwner -fuzztime=5s ./internal/cluster
 
 # The fleet bench asserts the scratch and delta arms produce identical
 # aggregates before reporting speedup, so this smoke doubles as an

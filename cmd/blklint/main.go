@@ -3,22 +3,26 @@
 // discipline (parcheck), pool hygiene (poolcheck), dropped errors
 // (errdrop), the interprocedural CFG-based checks (gatecheck, ctxcheck,
 // lockcheck, detflow), key exhaustiveness for the segment cache
-// (memokeycheck), and the value-flow cache-integrity pair (aliascheck,
-// purecheck). See README.md "Static analysis" and DESIGN.md
-// §4.6/§4.8/§4.11.
+// (memokeycheck), the value-flow cache-integrity pair (aliascheck,
+// purecheck), and the concurrency-soundness layer (lockorder, leakcheck,
+// chancheck). See README.md "Static analysis" and DESIGN.md
+// §4.6/§4.8/§4.11/§4.13.
 //
 // Usage:
 //
-//	go run ./cmd/blklint [-json|-sarif] [-only analyzer[,analyzer]] [-changed ref] [packages]
+//	go run ./cmd/blklint [-json|-sarif] [-only analyzer[,analyzer]] [-changed ref] [-cache] [-cache-dir dir] [packages]
 //
 // Packages default to ./... . Findings print as
 // file:line:col: analyzer: message; -json emits the machine-readable
 // schema and -sarif a SARIF 2.1.0 log instead. -changed ref scopes the
 // run to packages with Go files differing from the git ref (the local
-// pre-commit loop); CI runs the full module. Exit status: 0 clean,
-// 1 findings, 2 operational error. Suppress a finding with
-// //lint:ignore <analyzer> <reason> on the finding's line or the line
-// above it.
+// pre-commit loop); CI runs the full module. -cache serves unchanged
+// packages from the incremental fact cache (default .blklint-cache under
+// the module root; override with -cache-dir) and prints a stats line to
+// stderr: "blklint: fact cache: N/M packages cached, K analyzed".
+// Exit status: 0 clean, 1 findings, 2 operational error. Suppress a
+// finding with //lint:ignore <analyzer> <reason> on the finding's line
+// or the line above it.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"burstlink/internal/lint"
@@ -42,8 +47,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
 	only := fs.String("only", "", "comma-separated analyzer subset (default: all)")
 	changed := fs.String("changed", "", "analyze only packages with Go files changed since this git ref")
+	useCache := fs.Bool("cache", false, "serve unchanged packages from the incremental fact cache")
+	cacheDir := fs.String("cache-dir", ".blklint-cache", "fact cache directory (relative paths resolve against the module root)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: blklint [-json|-sarif] [-only analyzers] [-changed ref] [packages]")
+		fmt.Fprintln(stderr, "usage: blklint [-json|-sarif] [-only analyzers] [-changed ref] [-cache] [-cache-dir dir] [packages]")
 		fmt.Fprintln(stderr, "analyzers:")
 		for _, a := range lint.All() {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
@@ -85,6 +92,10 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	patterns := fs.Args()
 	if *changed != "" {
+		if *useCache {
+			fmt.Fprintln(stderr, "blklint: -changed and -cache are mutually exclusive")
+			return 2
+		}
 		if len(patterns) != 0 {
 			fmt.Fprintln(stderr, "blklint: -changed and explicit packages are mutually exclusive")
 			return 2
@@ -101,6 +112,20 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+	if *useCache {
+		dir := *cacheDir
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(root, dir)
+		}
+		findings, stats, err := lint.RunCached(cwd, dir, patterns, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "blklint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "blklint: fact cache: %d/%d packages cached, %d analyzed\n",
+			stats.Cached, stats.Packages, stats.Analyzed)
+		return emit(findings, analyzers, root, *jsonOut, *sarifOut, stdout, stderr)
 	}
 	pkgs, err := lint.Load(cwd, patterns)
 	if err != nil {

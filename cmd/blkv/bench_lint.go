@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"time"
 
 	"burstlink/internal/lint"
@@ -13,12 +14,20 @@ import (
 // bench-json lint measures the static-analysis budget the same way the
 // simulation hot paths are measured: wall-clock for a full-module
 // blklint run, split into the one-time load/type-check cost and the
-// per-analyzer-set analysis cost. Two arms: the v2 set (everything up
-// to the CFG/call-graph analyzers) and the full set including the v3
-// value-flow analyzers (aliascheck, purecheck), so the report is the
-// marginal cost of cache-integrity analysis. Each arm rebuilds the
-// shared Program from scratch — summaries are memoized within a run,
-// never across arms — so the contrast is load-free but honest.
+// per-analyzer-set analysis cost. Three analyzer arms: the v2 set
+// (everything up to the CFG/call-graph analyzers), v2 plus the v3
+// value-flow analyzers (aliascheck, purecheck), and the full v4 set
+// adding the concurrency-soundness layer (lockorder, leakcheck,
+// chancheck) — so the report shows the marginal cost of each layer.
+// Each arm rebuilds the shared Program from scratch — summaries are
+// memoized within a run, never across arms — so the contrast is
+// load-free but honest.
+//
+// Two more arms measure the incremental fact cache end-to-end (load
+// included, because skipping the load is the whole point): a cold
+// RunCached into an empty temp cache dir, then a warm RunCached over
+// the same dir. The warm arm must serve every package from cache and
+// reproduce the cold findings exactly, or the bench refuses to write.
 
 // lintArm is one analyzer-set measurement: best-of-reps analysis wall
 // time and the (rep-invariant) findings count.
@@ -28,6 +37,15 @@ type lintArm struct {
 	Findings  int   `json:"findings"`
 }
 
+// lintCacheArm is one end-to-end RunCached measurement: wall time
+// including discovery, hashing, loading, and analysis.
+type lintCacheArm struct {
+	WallNs   int64 `json:"wall_ns"`
+	Cached   int   `json:"cached"`
+	Analyzed int   `json:"analyzed"`
+	Findings int   `json:"findings"`
+}
+
 // lintBenchReport is the top-level BENCH_lint.json document.
 type lintBenchReport struct {
 	Packages int     `json:"packages"`
@@ -35,9 +53,20 @@ type lintBenchReport struct {
 	Reps     int     `json:"reps"`
 	V2       lintArm `json:"v2"`
 	V3       lintArm `json:"v2_plus_v3"`
-	// V3CostRatio is the full-set analysis time over the v2-only time:
+	V4       lintArm `json:"v2_plus_v3_plus_v4"`
+	// V3CostRatio is the v2+v3 analysis time over the v2-only time:
 	// how much the value-flow layer adds on top of everything before it.
 	V3CostRatio float64 `json:"v3_cost_ratio"`
+	// V4CostRatio is the full-set analysis time over the v2+v3 time:
+	// the marginal cost of the concurrency-soundness layer.
+	V4CostRatio float64 `json:"v4_cost_ratio"`
+	// CacheCold and CacheWarm are full-set RunCached end-to-end runs
+	// against an empty and then a fully-primed fact cache.
+	CacheCold lintCacheArm `json:"cache_cold"`
+	CacheWarm lintCacheArm `json:"cache_warm"`
+	// WarmSpeedup is cold wall time over warm wall time: what the fact
+	// cache buys a no-op re-lint.
+	WarmSpeedup float64 `json:"warm_speedup"`
 }
 
 // measureLintArm runs the analyzer set reps times over the loaded
@@ -58,6 +87,21 @@ func measureLintArm(pkgs []*lint.Package, analyzers []*lint.Analyzer, reps int) 
 		}
 	}
 	return arm, nil
+}
+
+// measureLintCache times one end-to-end RunCached call.
+func measureLintCache(wd, cacheDir string, analyzers []*lint.Analyzer) (lintCacheArm, []lint.Finding, error) {
+	start := time.Now()
+	findings, stats, err := lint.RunCached(wd, cacheDir, []string{"./..."}, analyzers)
+	if err != nil {
+		return lintCacheArm{}, nil, err
+	}
+	return lintCacheArm{
+		WallNs:   time.Since(start).Nanoseconds(),
+		Cached:   stats.Cached,
+		Analyzed: stats.Analyzed,
+		Findings: len(findings),
+	}, findings, nil
 }
 
 func benchLintCmd(args []string) error {
@@ -87,8 +131,14 @@ func benchLintCmd(args []string) error {
 	}
 
 	all := lint.All()
+	v4names := map[string]bool{"lockorder": true, "leakcheck": true, "chancheck": true}
 	v2 := make([]*lint.Analyzer, 0, len(all))
+	v3 := make([]*lint.Analyzer, 0, len(all))
 	for _, a := range all {
+		if v4names[a.Name] {
+			continue
+		}
+		v3 = append(v3, a)
 		if a.Name == "aliascheck" || a.Name == "purecheck" {
 			continue
 		}
@@ -97,11 +147,44 @@ func benchLintCmd(args []string) error {
 	if report.V2, err = measureLintArm(pkgs, v2, *reps); err != nil {
 		return fmt.Errorf("bench-json lint (v2): %w", err)
 	}
-	if report.V3, err = measureLintArm(pkgs, all, *reps); err != nil {
+	if report.V3, err = measureLintArm(pkgs, v3, *reps); err != nil {
 		return fmt.Errorf("bench-json lint (v2+v3): %w", err)
+	}
+	if report.V4, err = measureLintArm(pkgs, all, *reps); err != nil {
+		return fmt.Errorf("bench-json lint (v2+v3+v4): %w", err)
 	}
 	if report.V2.AnalyzeNs > 0 {
 		report.V3CostRatio = float64(report.V3.AnalyzeNs) / float64(report.V2.AnalyzeNs)
+	}
+	if report.V3.AnalyzeNs > 0 {
+		report.V4CostRatio = float64(report.V4.AnalyzeNs) / float64(report.V3.AnalyzeNs)
+	}
+
+	cacheDir, err := os.MkdirTemp("", "blklint-bench-cache-")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(cacheDir) }() // best-effort temp-dir cleanup
+
+	var coldFindings, warmFindings []lint.Finding
+	if report.CacheCold, coldFindings, err = measureLintCache(wd, cacheDir, all); err != nil {
+		return fmt.Errorf("bench-json lint (cache cold): %w", err)
+	}
+	if report.CacheWarm, warmFindings, err = measureLintCache(wd, cacheDir, all); err != nil {
+		return fmt.Errorf("bench-json lint (cache warm): %w", err)
+	}
+	// A warm arm that re-analyzed anything, or that diverged from the
+	// cold findings, is measuring a broken cache — refuse to report it.
+	if report.CacheWarm.Cached == 0 || report.CacheWarm.Cached != report.Packages {
+		return fmt.Errorf("bench-json lint: warm run served %d/%d packages from cache; cache is not warming",
+			report.CacheWarm.Cached, report.Packages)
+	}
+	if !reflect.DeepEqual(coldFindings, warmFindings) {
+		return fmt.Errorf("bench-json lint: warm findings diverge from cold (%d vs %d)",
+			len(warmFindings), len(coldFindings))
+	}
+	if report.CacheWarm.WallNs > 0 {
+		report.WarmSpeedup = float64(report.CacheCold.WallNs) / float64(report.CacheWarm.WallNs)
 	}
 
 	b, err := json.MarshalIndent(report, "", "  ")
@@ -112,11 +195,16 @@ func benchLintCmd(args []string) error {
 	if err := os.WriteFile(*out, b, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("lint load %6.1fms (%d pkgs)   v2 (%d analyzers) %6.1fms, %d findings   v2+v3 (%d) %6.1fms, %d findings   v3 cost %.2fx\n",
+	fmt.Printf("lint load %6.1fms (%d pkgs)   v2 (%d analyzers) %6.1fms   +v3 (%d) %6.1fms (%.2fx)   +v4 (%d) %6.1fms (%.2fx), %d findings\n",
 		float64(report.LoadNs)/1e6, report.Packages,
-		report.V2.Analyzers, float64(report.V2.AnalyzeNs)/1e6, report.V2.Findings,
-		report.V3.Analyzers, float64(report.V3.AnalyzeNs)/1e6, report.V3.Findings,
-		report.V3CostRatio)
+		report.V2.Analyzers, float64(report.V2.AnalyzeNs)/1e6,
+		report.V3.Analyzers, float64(report.V3.AnalyzeNs)/1e6, report.V3CostRatio,
+		report.V4.Analyzers, float64(report.V4.AnalyzeNs)/1e6, report.V4CostRatio,
+		report.V4.Findings)
+	fmt.Printf("fact cache: cold %6.1fms (%d analyzed)   warm %6.1fms (%d/%d cached)   speedup %.1fx\n",
+		float64(report.CacheCold.WallNs)/1e6, report.CacheCold.Analyzed,
+		float64(report.CacheWarm.WallNs)/1e6, report.CacheWarm.Cached, report.Packages,
+		report.WarmSpeedup)
 	fmt.Printf("wrote %s\n", *out)
 	return nil
 }

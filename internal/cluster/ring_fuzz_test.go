@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+
+	"burstlink/internal/api"
+)
+
+// FuzzRingOwner fuzzes the routing contract the whole cluster design
+// rests on: two JSON spellings of the same scenario must land on the
+// same ring owner (the ring hashes canonical cache keys, and
+// canonicalization erases spelling), and membership changes must move a
+// key only onto the added node or off the removed one — never between
+// two members that were present in both rings.
+func FuzzRingOwner(f *testing.F) {
+	f.Add([]byte(`{"scheme":"burstlink","resolution":"FHD","refresh_hz":60,"fps":30,"seconds":3}`), byte(0))
+	f.Add([]byte(`{"seconds":2,"fps":60,"refresh_hz":120,"resolution":"QHD","scheme":"conventional"}`), byte(1))
+	f.Add([]byte(`{"scheme":"burstlink","resolution":"4K","refresh_hz":90,"fps":90,"seconds":1,"vr":true,"vr_source":"5K","motion_factor":1.5}`), byte(2))
+	f.Add([]byte(`{}`), byte(3))
+
+	members := []string{"http://n1:9070", "http://n2:9070", "http://n3:9070"}
+	const added = "http://n4:9070"
+	ring, err := NewRing(members, 32)
+	if err != nil {
+		f.Fatal(err)
+	}
+	grown, err := ring.WithNode(added)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, pick byte) {
+		var req api.SessionRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			t.Skip("not a session request")
+		}
+
+		// Respell the scenario: marshal, shuffle field order through a
+		// map (json.Marshal sorts map keys, struct marshal uses field
+		// order), and decode back. Canonicalization must erase the
+		// difference all the way down to the ring owner.
+		direct, err := json.Marshal(req)
+		if err != nil {
+			t.Skip("unmarshalable request")
+		}
+		var fields map[string]json.RawMessage
+		if err := json.Unmarshal(direct, &fields); err != nil {
+			t.Fatalf("remarshal: %v", err)
+		}
+		respelled, err := json.Marshal(fields)
+		if err != nil {
+			t.Fatalf("remarshal: %v", err)
+		}
+		var req2 api.SessionRequest
+		if err := json.Unmarshal(respelled, &req2); err != nil {
+			t.Fatalf("respelled request does not decode: %v", err)
+		}
+		key, key2 := req.CacheKey(), req2.CacheKey()
+		if key != key2 {
+			t.Fatalf("canonically-equal requests produced different cache keys:\n%s\n%s", key, key2)
+		}
+		if ring.Owner(key) != ring.Owner(key2) {
+			t.Fatalf("same key, different owners: %s vs %s", ring.Owner(key), ring.Owner(key2))
+		}
+
+		// Minimal movement, growth: a key either stays put or moves to
+		// the node that joined.
+		before := ring.Owner(key)
+		if after := grown.Owner(key); after != before && after != added {
+			t.Fatalf("adding %s moved key from %s to %s (neither is the new node)", added, before, after)
+		}
+
+		// Minimal movement, shrink: a key moves only if its owner left.
+		removed := members[int(pick)%len(members)]
+		shrunk, err := ring.WithoutNode(removed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after := shrunk.Owner(key); after != before && before != removed {
+			t.Fatalf("removing %s moved key owned by %s to %s", removed, before, after)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
@@ -16,6 +17,29 @@ import (
 // misread one would poison a node with values that no longer match their
 // keys.
 const SnapshotVersion = 1
+
+// ErrSnapshotVersion marks a snapshot whose wire version is not the one
+// this binary speaks. Check with errors.Is; the wrapping SnapshotError
+// carries the versions seen.
+var ErrSnapshotVersion = errors.New("snapshot version mismatch")
+
+// SnapshotError is the typed failure for a snapshot that could not be
+// encoded or decoded: a truncated or corrupt gob stream, an entry whose
+// concrete type is not gob-registered in this binary, or a version
+// mismatch (Unwrap matches ErrSnapshotVersion in that case). Decode
+// failures are total — the caller's caches see zero entries, never a
+// partial transplant.
+type SnapshotError struct {
+	// Op is the failing stage: "decode" or "encode".
+	Op  string
+	Err error
+}
+
+func (e *SnapshotError) Error() string {
+	return fmt.Sprintf("cluster: snapshot %s: %v", e.Op, e.Err)
+}
+
+func (e *SnapshotError) Unwrap() error { return e.Err }
 
 // Snapshot is a node's exported cache state: the scenario result cache
 // (canonical key → response body) and the delta-simulation segment cache
@@ -81,19 +105,22 @@ func (s *Snapshot) Encode(w io.Writer) error {
 	out.Segments, out.SegmentsSkipped = filterSegments(s.Segments)
 	out.SegmentsSkipped += s.SegmentsSkipped
 	if err := gob.NewEncoder(w).Encode(&out); err != nil {
-		return fmt.Errorf("cluster: encoding snapshot: %w", err)
+		return &SnapshotError{Op: "encode", Err: err}
 	}
 	return nil
 }
 
-// DecodeSnapshot reads one snapshot from r, rejecting unknown versions.
+// DecodeSnapshot reads one snapshot from r, rejecting unknown versions,
+// truncated or corrupt streams, and entries whose concrete types are
+// not registered in this binary. Every failure is a *SnapshotError and
+// returns a nil snapshot: nothing partial ever reaches a cache.
 func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 	var s Snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
-		return nil, fmt.Errorf("cluster: decoding snapshot: %w", err)
+		return nil, &SnapshotError{Op: "decode", Err: err}
 	}
 	if s.Version != SnapshotVersion {
-		return nil, fmt.Errorf("cluster: snapshot version %d, want %d", s.Version, SnapshotVersion)
+		return nil, &SnapshotError{Op: "decode", Err: fmt.Errorf("%w: snapshot is v%d, this binary speaks v%d", ErrSnapshotVersion, s.Version, SnapshotVersion)}
 	}
 	return &s, nil
 }

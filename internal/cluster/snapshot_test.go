@@ -1,0 +1,108 @@
+// Snapshot decode-failure tests: every malformed snapshot must surface
+// as a typed *cluster.SnapshotError and leave the importing node's
+// caches completely untouched — a cache transplant is all-or-nothing.
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+
+	"burstlink/internal/cache"
+	"burstlink/internal/cluster"
+	"burstlink/internal/server"
+)
+
+// segA is a stand-in segment value type. Its registered gob name is
+// rewritten in-stream by the unregistered-type test below.
+type segA struct{ N int }
+
+func init() {
+	gob.RegisterName("burstlink/test.segA", segA{})
+}
+
+// wellFormedSnapshot builds an encodable snapshot carrying one result
+// and one segment entry, so a decode failure that loaded anything at
+// all would be visible.
+func wellFormedSnapshot() *cluster.Snapshot {
+	return &cluster.Snapshot{
+		Node:     "donor",
+		Results:  []cache.EntryOf[[]byte]{{Key: "v1/session:abc", Val: []byte(`{"ok":true}`)}},
+		Segments: []cache.EntryOf[any]{{Key: "seg:abc", Val: segA{N: 7}}},
+	}
+}
+
+// assertRejected runs the malformed snapshot bytes through a fresh
+// node's Warm and checks the full contract: nil snapshot, a typed
+// *cluster.SnapshotError, and zero entries in either cache.
+func assertRejected(t *testing.T, name string, raw []byte) error {
+	t.Helper()
+	srv := server.New(server.Config{NodeID: "importer"})
+	snap, err := srv.Warm(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatalf("%s: Warm accepted a malformed snapshot (%+v)", name, snap)
+	}
+	if snap != nil {
+		t.Errorf("%s: Warm returned a snapshot alongside an error", name)
+	}
+	var serr *cluster.SnapshotError
+	if !errors.As(err, &serr) {
+		t.Errorf("%s: error %v is not a *cluster.SnapshotError", name, err)
+	} else if serr.Op != "decode" {
+		t.Errorf("%s: SnapshotError.Op = %q, want decode", name, serr.Op)
+	}
+	if st := srv.Stats(); st.CacheEntries != 0 || st.SegmentEntries != 0 {
+		t.Errorf("%s: caches not untouched: %d result entries, %d segment entries",
+			name, st.CacheEntries, st.SegmentEntries)
+	}
+	return err
+}
+
+func TestSnapshotDecodeVersionMismatch(t *testing.T) {
+	// Encode forces the current version, so a future-versioned snapshot
+	// is built with a raw gob encode of the exported struct.
+	future := wellFormedSnapshot()
+	future.Version = cluster.SnapshotVersion + 1
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(future); err != nil {
+		t.Fatal(err)
+	}
+	err := assertRejected(t, "version", buf.Bytes())
+	if !errors.Is(err, cluster.ErrSnapshotVersion) {
+		t.Errorf("version mismatch error %v does not match ErrSnapshotVersion", err)
+	}
+}
+
+func TestSnapshotDecodeTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := wellFormedSnapshot().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	err := assertRejected(t, "truncated", raw[:len(raw)/2])
+	if errors.Is(err, cluster.ErrSnapshotVersion) {
+		t.Errorf("truncated-stream error %v spuriously matches ErrSnapshotVersion", err)
+	}
+}
+
+func TestSnapshotDecodeUnregisteredType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := wellFormedSnapshot().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the segment value's registered type name to an
+	// equal-length name no binary registers: the stream stays
+	// structurally valid gob, but the interface value cannot be
+	// reconstructed — exactly what importing a snapshot from a binary
+	// with a different registration set looks like.
+	raw := bytes.ReplaceAll(buf.Bytes(),
+		[]byte("burstlink/test.segA"), []byte("burstlink/test.segZ"))
+	if bytes.Equal(raw, buf.Bytes()) {
+		t.Fatal("registered type name not found in encoded stream")
+	}
+	err := assertRejected(t, "unregistered", raw)
+	if errors.Is(err, cluster.ErrSnapshotVersion) {
+		t.Errorf("unregistered-type error %v spuriously matches ErrSnapshotVersion", err)
+	}
+}

@@ -174,6 +174,30 @@ func TestFleetFixFixture(t *testing.T) {
 	checkFixture(t, "fleetfix", []*Analyzer{MemoKeyCheck})
 }
 
+// TestLockOrderFixture drives the acquisition-order graph end to end:
+// consistent nesting and disjoint critical sections stay clean; a
+// reversed pair is reported at both inner acquisition sites, directly
+// and through a one-call-level helper; re-acquiring a held mutex is the
+// one-node cycle.
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, "lockorderfix", []*Analyzer{LockOrder})
+}
+
+// TestLeakCheckFixture lives at burstlink/internal/server/leakfix —
+// inside leakcheck's scope. The ok cases pin the service idioms
+// (buffered cap-1 result channel, select with ctx.Done(), close-signal
+// field, deferred wg.Done, caller-owned parameter channels).
+func TestLeakCheckFixture(t *testing.T) {
+	checkFixture(t, "server/leakfix", []*Analyzer{LeakCheck})
+}
+
+// TestChanCheckFixture runs chancheck together with lockcheck: the
+// unbuffered-send-under-lock rule is lockcheck's, per the channel
+// discipline split documented on ChanCheck.
+func TestChanCheckFixture(t *testing.T) {
+	checkFixture(t, "chanfix", []*Analyzer{ChanCheck, LockCheck})
+}
+
 // TestIgnoreDirectives drives the full pipeline over the ignorefix
 // package: three suppressed sites must vanish, and the malformed or
 // mis-targeted directives must leave their findings standing.
@@ -331,6 +355,13 @@ func TestScopes(t *testing.T) {
 		{CtxCheck, "burstlink/cmd/burstlink", false},
 		{DetFlow, "burstlink/internal/exp", true},
 		{DetFlow, "burstlink/cmd/blkv", false},
+		{LeakCheck, "burstlink/internal/server", true},
+		{LeakCheck, "burstlink/internal/server/leakfix", true},
+		{LeakCheck, "burstlink/internal/cluster", true},
+		{LeakCheck, "burstlink/internal/par", true},
+		{LeakCheck, "burstlink/internal/memo", true},
+		{LeakCheck, "burstlink/internal/codec", false},
+		{LeakCheck, "burstlink/cmd/blkd", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Scope(c.pkgPath); got != c.want {
@@ -345,6 +376,12 @@ func TestScopes(t *testing.T) {
 	}
 	if LockCheck.Scope != nil {
 		t.Error("lockcheck should apply everywhere (nil Scope)")
+	}
+	if LockOrder.Scope != nil {
+		t.Error("lockorder should apply everywhere (nil Scope)")
+	}
+	if ChanCheck.Scope != nil {
+		t.Error("chancheck should apply everywhere (nil Scope)")
 	}
 }
 

@@ -84,6 +84,7 @@ func checkLockBody(pass *Pass, body *ast.BlockStmt, summaries map[*types.Func]st
 		return
 	}
 	nonBlocking := nonBlockingComms(body)
+	caps := chanMakeCaps(pass, body)
 	cfg := pass.Prog.CFG(body)
 	transfer := func(fact any, n ast.Node) any {
 		f := fact.(lockFact)
@@ -120,7 +121,7 @@ func checkLockBody(pass *Pass, body *ast.BlockStmt, summaries map[*types.Func]st
 		f := fact.(lockFact)
 		for _, n := range blk.Nodes {
 			if len(f) > 0 {
-				reportBlockingOps(pass, n, f, summaries, nonBlocking, reported)
+				reportBlockingOps(pass, n, f, summaries, nonBlocking, caps, reported)
 			}
 			f = transfer(f, n).(lockFact)
 		}
@@ -212,7 +213,7 @@ func nonBlockingComms(body *ast.BlockStmt) map[ast.Node]bool {
 
 // reportBlockingOps scans one CFG node for operations that can block,
 // reporting each against the currently held mutexes.
-func reportBlockingOps(pass *Pass, n ast.Node, held lockFact, summaries map[*types.Func]string, nonBlocking map[ast.Node]bool, reported map[token.Pos]bool) {
+func reportBlockingOps(pass *Pass, n ast.Node, held lockFact, summaries map[*types.Func]string, nonBlocking map[ast.Node]bool, caps map[types.Object]int64, reported map[token.Pos]bool) {
 	report := func(pos token.Pos, what string) {
 		if reported[pos] {
 			return
@@ -234,7 +235,16 @@ func reportBlockingOps(pass *Pass, n ast.Node, held lockFact, summaries map[*typ
 		}
 		switch m := m.(type) {
 		case *ast.SendStmt:
-			report(m.Pos(), "channel send")
+			// A provably-unbuffered send is a rendezvous: it blocks until
+			// a receiver arrives, the worst case of the rule (chancheck's
+			// unbuffered-send-under-lock discipline lands here).
+			what := "channel send"
+			if obj := chanObj(pass, m.Chan); obj != nil {
+				if c, known := caps[obj]; known && c == 0 {
+					what = "unbuffered channel send"
+				}
+			}
+			report(m.Pos(), what)
 		case *ast.UnaryExpr:
 			if m.Op == token.ARROW {
 				report(m.Pos(), "channel receive")

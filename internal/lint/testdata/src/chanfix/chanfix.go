@@ -1,0 +1,101 @@
+// Package chanfix exercises chancheck (send on possibly-closed, double
+// close, close by a pure receiver) plus the unbuffered-send-under-lock
+// rule that lives in lockcheck's blocking discipline.
+package chanfix
+
+import "sync"
+
+func produce() int { return 1 }
+
+// okSendThenClose is the owner protocol: sends finish, then one close.
+func okSendThenClose(n int) <-chan int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		ch <- produce()
+	}
+	close(ch)
+	return ch
+}
+
+// okRemake: a reassignment hands the name a fresh channel.
+func okRemake() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch = make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// okCloseHelper closes a channel it neither makes nor receives from —
+// a sender-side helper the owner delegates to.
+func okCloseHelper(ch chan int) {
+	ch <- produce()
+	close(ch)
+}
+
+// badSendAfterClose panics on every execution.
+func badSendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "send on ch, which may already be closed"
+}
+
+// badDoubleClose panics on the second close.
+func badDoubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "double close of ch"
+}
+
+// badMaybeClosed: the close happens on one branch only; the
+// unconditional send panics whenever that branch was taken.
+func badMaybeClosed(ch chan int, done bool) {
+	if done {
+		close(ch)
+	}
+	ch <- 1 // want "send on ch, which may already be closed"
+}
+
+// badCloseAsReceiver: this function only receives from ch — the close
+// belongs to the sender.
+func badCloseAsReceiver(ch chan int) {
+	v := <-ch
+	_ = v
+	close(ch) // want "close of ch, which this function only receives from"
+}
+
+// badRangeThenClose: ranging is receiving; closing afterwards is still
+// the receiver closing.
+func badRangeThenClose(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+	close(ch) // want "close of ch, which this function only receives from"
+}
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// badUnbufferedUnderLock: the rendezvous send parks the goroutine while
+// it holds b.mu — lockcheck's merged unbuffered-send rule.
+func (b *box) badUnbufferedUnderLock(done chan struct{}) {
+	ch := make(chan int)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+	ch <- b.n // want "unbuffered channel send while holding b.mu"
+	close(done)
+}
+
+// okBufferedUnderLock stays a plain lockcheck report elsewhere; with no
+// lock held and a buffered channel there is nothing to flag.
+func (b *box) okBufferedUnderLock() {
+	ch := make(chan int, 1)
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	ch <- b.n
+	close(ch)
+}

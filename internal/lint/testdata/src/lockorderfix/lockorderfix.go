@@ -1,0 +1,139 @@
+// Package lockorderfix exercises lockorder: the module-wide mutex
+// acquisition-order graph. Consistent nesting stays clean; two
+// functions taking the same pair in opposite orders complete a cycle
+// and both inner acquisition sites are reported, directly and through a
+// one-call-level helper; re-acquiring a held mutex is the one-node
+// cycle (self-deadlock).
+package lockorderfix
+
+import "sync"
+
+type pair struct {
+	a, b sync.Mutex
+	n    int
+}
+
+// okNested always takes a before b: one direction, no cycle.
+func (p *pair) okNested() {
+	p.a.Lock()
+	p.b.Lock()
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// okDisjoint never holds both at once.
+func (p *pair) okDisjoint() {
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+	p.b.Lock()
+	p.n--
+	p.b.Unlock()
+}
+
+// okSequentialAgain re-takes a after fully releasing: no edge.
+func (p *pair) okSequentialAgain() {
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+	p.a.Lock()
+	p.n--
+	p.a.Unlock()
+}
+
+type reversed struct {
+	x, y sync.Mutex
+	n    int
+}
+
+// orderXY takes x then y...
+func (r *reversed) orderXY() {
+	r.x.Lock()
+	defer r.x.Unlock()
+	r.y.Lock() // want "lock order cycle"
+	defer r.y.Unlock()
+	r.n++
+}
+
+// ...and orderYX takes y then x: together a cycle, reported at both
+// inner acquisition sites.
+func (r *reversed) orderYX() {
+	r.y.Lock()
+	defer r.y.Unlock()
+	r.x.Lock() // want "lock order cycle"
+	defer r.x.Unlock()
+	r.n--
+}
+
+type viaHelper struct {
+	c, d sync.Mutex
+	n    int
+}
+
+// lockD is the helper whose body acquires d — the one call level the
+// edge recorder reaches.
+func (h *viaHelper) lockD() {
+	h.d.Lock()
+	h.n++
+	h.d.Unlock()
+}
+
+// orderCD holds c across the helper call: edge c→d at the call site.
+func (h *viaHelper) orderCD() {
+	h.c.Lock()
+	h.lockD() // want "lock order cycle"
+	h.c.Unlock()
+}
+
+// orderDC takes d then c directly, closing the cycle.
+func (h *viaHelper) orderDC() {
+	h.d.Lock()
+	h.c.Lock() // want "lock order cycle"
+	h.c.Unlock()
+	h.d.Unlock()
+}
+
+type selfdead struct {
+	mu sync.Mutex
+}
+
+// reacquire blocks on itself: the one-node cycle.
+func (s *selfdead) reacquire() {
+	s.mu.Lock()
+	s.mu.Lock() // want "self-deadlock"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+type guarded struct {
+	mu sync.RWMutex
+	rw sync.Mutex
+	n  int
+}
+
+// okConsistentHelper nests through a helper in one direction only.
+func (g *guarded) lockInner() {
+	g.rw.Lock()
+	g.n++
+	g.rw.Unlock()
+}
+
+func (g *guarded) okOuterThenHelper() {
+	g.mu.RLock()
+	g.lockInner()
+	g.mu.RUnlock()
+}
+
+// okConditional only ever holds one of the two on any path.
+func (g *guarded) okConditional(which bool) {
+	if which {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+		return
+	}
+	g.rw.Lock()
+	g.n--
+	g.rw.Unlock()
+}

@@ -1,0 +1,175 @@
+// Package leakfix exercises leakcheck inside its scope
+// (burstlink/internal/server/...): goroutines must not be able to block
+// forever on a channel op or Gate.Acquire with no cancellation or
+// close-signal escape, and wg.Done must be reached on every goroutine
+// path. The ok cases pin the idioms the real service packages rely on:
+// the buffered cap-1 result channel, the select with a ctx.Done() case,
+// the close-signal field, and the deferred Done.
+package leakfix
+
+import (
+	"context"
+	"sync"
+
+	"burstlink/internal/par"
+)
+
+func work() error { return nil }
+
+// okBufferedResult is the ServeHandler idiom: a single send into a
+// channel made with capacity 1 never blocks.
+func okBufferedResult() chan error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work()
+	}()
+	return errc
+}
+
+// okSelectCtx escapes through the ctx.Done() case.
+func okSelectCtx(ctx context.Context, out chan int) {
+	go func() {
+		select {
+		case out <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// okSelectDefault cannot block at all.
+func okSelectDefault(out chan int) {
+	go func() {
+		select {
+		case out <- 1:
+		default:
+		}
+	}()
+}
+
+type worker struct {
+	quit chan struct{}
+}
+
+// okClosedElsewhere parks on a field channel that stop() closes — the
+// close-signal escape.
+func (w *worker) run() {
+	go func() {
+		<-w.quit
+	}()
+}
+
+func (w *worker) stop() {
+	close(w.quit)
+}
+
+// okParamChan receives from a caller-owned parameter channel: ownership
+// and close site are the caller's, out of this check's reach.
+func okParamChan(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}
+
+// badUnbufferedSend leaks the goroutine when no receiver ever arrives.
+func badUnbufferedSend() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- 42 // want "goroutine sends on ch"
+	}()
+	return ch
+}
+
+// badReceiveNoClose parks forever: nothing in the module closes done.
+func badReceiveNoClose() {
+	done := make(chan struct{})
+	go func() {
+		<-done // want "goroutine receives from done"
+	}()
+}
+
+type drainer struct {
+	in chan int
+}
+
+// badRangeNoClose ranges over a field channel no module function closes.
+func (d *drainer) badRangeNoClose() {
+	go func() {
+		for v := range d.in { // want "goroutine ranges over d.in"
+			_ = v
+		}
+	}()
+}
+
+// badSelectNoEscape: both cases are unescaped local unbuffered ops.
+func badSelectNoEscape() {
+	a := make(chan int)
+	b := make(chan int)
+	go func() {
+		select { // want "select in goroutine where every case can block forever"
+		case a <- 1:
+		case <-b:
+		}
+	}()
+}
+
+var gate = par.NewGate(1)
+
+// badGateBackground can never be cancelled out of the Acquire.
+func badGateBackground() {
+	go func() {
+		if gate.Acquire(context.Background()) == nil { // want "context.Background"
+			gate.Release()
+		}
+	}()
+}
+
+// okGateCtx acquires under the caller's cancellable context.
+func okGateCtx(ctx context.Context) {
+	go func() {
+		if gate.Acquire(ctx) == nil {
+			gate.Release()
+		}
+	}()
+}
+
+// okDeferDone is the par worker idiom: Done guaranteed on every path,
+// panics included.
+func okDeferDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = work()
+	}()
+}
+
+// okPlainDoneAllPaths calls Done unconditionally at the end.
+func okPlainDoneAllPaths(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		_ = work()
+		wg.Done()
+	}()
+}
+
+// badConditionalDone skips Done on the early-return path: wg.Wait hangs.
+func badConditionalDone(wg *sync.WaitGroup, ready bool) {
+	wg.Add(1)
+	go func() {
+		if !ready {
+			return
+		}
+		wg.Done() // want "not reached on every path"
+	}()
+}
+
+// named goroutine bodies declared in the same package are analyzed too.
+func pump(n int) {
+	out := make(chan int)
+	for i := 0; i < n; i++ {
+		out <- i // want "goroutine sends on out"
+	}
+}
+
+func badNamedGoroutine() {
+	go pump(3)
+}
